@@ -1,0 +1,60 @@
+"""Figure 6 — pairings vs. statements explored around write barriers.
+
+Paper: "Most shared objects used in the pairings are within five
+statements of the write barrier."  Pairings rise steeply up to a window
+of ~5, then plateau; exploring further adds few pairings but slightly
+more *incorrect* pairings.
+
+The sweep re-runs the full analysis per window, so the benchmark times
+one representative window and the sweep itself is asserted on shape.
+"""
+
+from repro.analysis.barrier_scan import ScanLimits
+from repro.core.engine import AnalysisOptions, OFenceEngine
+from repro.core.report import render_table, write_distance_histogram
+from repro.corpus import score_run
+
+WINDOWS = [1, 2, 3, 4, 5, 8, 10, 15]
+
+
+def analyze_with_window(source, window):
+    options = AnalysisOptions(
+        limits=ScanLimits(write_window=window), annotate=False
+    )
+    return OFenceEngine(source, options).analyze()
+
+
+def test_fig6_window_sweep(benchmark, paper_corpus, paper_result, emit):
+    benchmark.pedantic(
+        analyze_with_window, args=(paper_corpus.source, 5),
+        rounds=1, iterations=1,
+    )
+    points = []
+    for window in WINDOWS:
+        result = analyze_with_window(paper_corpus.source, window)
+        score = score_run(result, paper_corpus.truth)
+        points.append(
+            (window, len(result.pairing.pairings),
+             score.incorrect_pairings)
+        )
+    rows = [
+        (f"window={window}",
+         f"pairings={pairings:<4} incorrect={incorrect}")
+        for window, pairings, incorrect in points
+    ]
+    emit("fig6", render_table(
+        "Figure 6: pairings vs. write-barrier window", rows
+    ))
+
+    by_window = {w: (p, i) for w, p, i in points}
+    # Steep rise up to 5:
+    assert by_window[1][0] < by_window[3][0] < by_window[5][0]
+    # Plateau after 5: within a few percent.
+    plateau_growth = by_window[15][0] - by_window[5][0]
+    assert plateau_growth <= 0.12 * by_window[5][0]
+    # Incorrect pairings creep up with larger windows.
+    assert by_window[15][1] >= by_window[5][1]
+
+    histogram = write_distance_histogram(paper_result)
+    near = sum(histogram.counts[:5])
+    assert near >= 0.85 * sum(histogram.counts)

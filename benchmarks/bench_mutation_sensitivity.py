@@ -1,0 +1,37 @@
+"""Mutation sensitivity — does the tool react to plausible regressions?
+
+§6.2: "most bugs were introduced when refactoring the code or adding new
+functionalities".  The harness applies refactoring-shaped mutations to a
+correct barrier protocol and classifies the tool's reaction (checker
+finding / missing-barrier advisory / pairing lost / silent).  Harmful
+mutations must never be silent; benign controls must never fire.
+"""
+
+from repro.core.report import render_table
+from repro.corpus.mutations import Reaction, run_mutation_harness
+
+
+def test_mutation_sensitivity(benchmark, emit):
+    outcomes = benchmark.pedantic(
+        run_mutation_harness, rounds=1, iterations=1
+    )
+    rows = [
+        (o.mutation.name,
+         f"{o.reaction.value:13s} "
+         f"{'(expected)' if o.as_expected else '(UNEXPECTED)'}")
+        for o in outcomes
+    ]
+    harmful = [
+        o for o in outcomes if o.mutation.expected is not Reaction.SILENT
+    ]
+    caught = sum(
+        1 for o in harmful if o.reaction is not Reaction.SILENT
+    )
+    rows.append(("-- harmful mutations caught --",
+                 f"{caught}/{len(harmful)}"))
+    emit("mutation_sensitivity", render_table(
+        "Mutation sensitivity: refactoring-shaped regressions", rows
+    ))
+
+    assert all(o.as_expected for o in outcomes)
+    assert caught == len(harmful)

@@ -1,0 +1,74 @@
+"""§6.1 scaling — analysis cost grows roughly linearly with tree size.
+
+The paper's pitch: OFence is "sufficiently efficient to become part of
+the standard kernel development toolchain".  Per-file scanning dominates
+and is embarrassingly parallel; global pairing is the only super-linear
+stage.  The benchmark sweeps corpus size and records wall time per file.
+"""
+
+import time
+
+from repro.core.engine import OFenceEngine
+from repro.core.report import render_table
+from repro.corpus import CorpusSpec, generate_corpus
+
+
+def _scaled_spec(factor: float) -> CorpusSpec:
+    base = CorpusSpec.small()
+    return CorpusSpec(
+        correct_pairs=max(1, int(base.correct_pairs * factor)),
+        rcu_pairs=max(1, int(base.rcu_pairs * factor)),
+        decoy_reader_groups=0,
+        unordered_noise_pairs=0,
+        missing_barrier_groups=0,
+        acqrel_pairs=max(1, int(base.acqrel_pairs * factor)),
+        fullmb_pairs=max(1, int(base.fullmb_pairs * factor)),
+        atomic_modifier_pairs=0,
+        seqcount_helper_groups=0,
+        far_writer_pairs=0,
+        misplaced_bugs=1,
+        reread_cross_bugs=1,
+        reread_guard_bugs=0,
+        seqcount_bugs=0,
+        wrong_type_bugs=0,
+        seqcount_correct=1,
+        bnx2x_fps=1,
+        generic_pairs=1,
+        unneeded_wakeup=max(1, int(3 * factor)),
+        unneeded_double=0,
+        unneeded_atomic=0,
+        ipc_patterns=max(1, int(4 * factor)),
+        solitary=max(1, int(30 * factor)),
+        sweep_noise_families=0,
+        sweep_noise_per_family=0,
+        analyzed_files=max(4, int(40 * factor)),
+        gated_files=0,
+        noise_files=0,
+    )
+
+
+def analyze_factor(factor: float):
+    corpus = generate_corpus(_scaled_spec(factor), seed=5)
+    start = time.perf_counter()
+    result = OFenceEngine(corpus.source).analyze()
+    return result, time.perf_counter() - start
+
+
+def test_scaling_with_corpus_size(benchmark, emit):
+    benchmark.pedantic(analyze_factor, args=(1.0,), rounds=1, iterations=1)
+    rows = []
+    per_file: list[float] = []
+    for factor in (1.0, 2.0, 4.0, 8.0):
+        result, elapsed = analyze_factor(factor)
+        cost = elapsed / max(result.files_analyzed, 1) * 1000
+        per_file.append(cost)
+        rows.append((
+            f"x{factor:g} ({result.files_analyzed} files)",
+            f"total={elapsed:.2f}s  per-file={cost:.1f}ms  "
+            f"barriers={result.total_barriers}",
+        ))
+    emit("scaling", render_table(
+        "Section 6.1: analysis cost vs. tree size", rows
+    ))
+    # Roughly linear: per-file cost must not blow up with scale.
+    assert per_file[-1] < per_file[0] * 4

@@ -1,0 +1,40 @@
+"""§6.3 — removing unneeded barriers.
+
+Paper: 53 unneeded barriers removed, mostly the "single barrier followed
+by a wake-up function that already offers barrier semantics" pattern.
+"""
+
+from collections import Counter
+
+from repro.checkers.unneeded import UnneededBarrierChecker
+from repro.core.report import render_table
+
+
+def run_unneeded(result):
+    checker = UnneededBarrierChecker()
+    return checker.check(
+        result.pairing.unpaired + result.pairing.implicit_ipc
+    )
+
+
+def test_sec63_unneeded_barriers(benchmark, paper_result, emit):
+    findings = benchmark(run_unneeded, paper_result)
+    by_successor = Counter(
+        f.details["subsumed_by"] for f in findings
+    )
+    wakeups = sum(
+        count for name, count in by_successor.items()
+        if name.startswith(("wake_", "complete"))
+    )
+    rows = [
+        ("Unneeded barriers", f"paper=53  measured={len(findings)}"),
+        ("  followed by wake-up", wakeups),
+        ("  followed by another barrier",
+         by_successor.get("smp_mb", 0)),
+        ("  followed by ordered atomic",
+         len(findings) - wakeups - by_successor.get("smp_mb", 0)),
+    ]
+    emit("sec63", render_table("Section 6.3: unneeded barriers", rows))
+    assert len(findings) == 53
+    # Dominant pattern: barrier before a wake-up (as in the paper).
+    assert wakeups > len(findings) / 2

@@ -1,0 +1,43 @@
+"""§6.4 — pairings, false positives and coverage.
+
+Paper: 456 pairings across 614 files ≈ 50 % of the barriers; 15
+incorrect pairings (generic types); 12 incorrect patches against 12
+fixed bugs (50 % patch false-positive ratio).
+"""
+
+from repro.core.report import render_table
+from repro.pairing.algorithm import PairingEngine
+
+
+def pair_all(sites):
+    return PairingEngine(sites).pair()
+
+
+def test_sec64_pairing_and_coverage(benchmark, paper_corpus, paper_result,
+                                    paper_score, emit):
+    pairing = benchmark.pedantic(
+        pair_all, args=(paper_result.sites,), rounds=3, iterations=1
+    )
+    rows = [
+        ("Pairings", f"paper=456  measured={len(pairing.pairings)}"),
+        ("Barrier coverage",
+         f"paper=~50%  measured={paper_result.pairing_coverage:.1%}"),
+        ("Incorrect pairings",
+         f"paper=15   measured={paper_score.incorrect_pairings}"),
+        ("Correct patches (bugs fixed)",
+         f"paper=12   measured={len([b for b in paper_score.detected_bugs if b.kind != 'unneeded'])}"),
+        ("Incorrect (false-positive) patches",
+         f"paper=12   measured="
+         f"{len(paper_score.expected_fp_findings) + len(paper_score.unexpected_findings)}"),
+        ("Patch FP ratio",
+         f"paper=50%  measured={paper_score.patch_false_positive_ratio:.0%}"),
+    ]
+    emit("sec64", render_table(
+        "Section 6.4: pairings, false positives and coverage", rows
+    ))
+
+    assert len(pairing.pairings) == 456
+    assert 0.40 <= paper_result.pairing_coverage <= 0.60
+    assert paper_score.incorrect_pairings == 15
+    assert abs(paper_score.patch_false_positive_ratio - 0.50) < 0.05
+    assert not paper_score.unexpected_findings

@@ -1,0 +1,42 @@
+"""Robustness: detection quality must not depend on the corpus seed.
+
+The headline numbers (456 pairings etc.) are properties of the default
+corpus; the *detector* itself must achieve full recall and produce no
+unexpected findings regardless of how the patterns are laid out across
+files.  The benchmark re-generates smaller corpora under several seeds
+and re-scores each run.
+"""
+
+from repro.core.engine import OFenceEngine
+from repro.core.report import render_table
+from repro.corpus import CorpusSpec, generate_corpus, score_run
+
+SEEDS = [1, 7, 42, 1234, 99999]
+
+
+def run_one(seed: int):
+    corpus = generate_corpus(CorpusSpec.small(), seed=seed)
+    result = OFenceEngine(corpus.source).analyze()
+    return corpus, result, score_run(result, corpus.truth)
+
+
+def test_seed_stability(benchmark, emit):
+    benchmark.pedantic(run_one, args=(SEEDS[0],), rounds=1, iterations=1)
+    rows = []
+    for seed in SEEDS:
+        corpus, result, score = run_one(seed)
+        rows.append((
+            f"seed={seed}",
+            f"recall={score.recall:.0%} "
+            f"unexpected={len(score.unexpected_findings)} "
+            f"unneeded={len(result.report.unneeded_findings)}/"
+            f"{corpus.truth.expected_unneeded} "
+            f"incorrect={score.incorrect_pairings}",
+        ))
+        assert score.recall == 1.0, f"seed {seed} missed bugs"
+        assert not score.unexpected_findings, f"seed {seed} noise"
+        assert len(result.report.unneeded_findings) == \
+            corpus.truth.expected_unneeded
+    emit("seed_stability", render_table(
+        "Robustness: detection across corpus seeds", rows
+    ))

@@ -1,0 +1,38 @@
+"""Table 1 — the eight explicit barrier primitives.
+
+Not a measured result in the paper, but the knowledge base it defines is
+load-bearing for every other experiment.  The benchmark measures barrier
+classification over all call sites of the paper-scale corpus and renders
+Table 1 with per-primitive occurrence counts observed in the corpus.
+"""
+
+from collections import Counter
+
+from repro.core.report import render_table
+from repro.kernel.barriers import BARRIER_PRIMITIVES
+
+
+def classify_all(sites):
+    counts = Counter()
+    for site in sites:
+        counts[site.primitive] += 1
+    return counts
+
+
+def test_table1_barrier_classification(benchmark, paper_result, emit):
+    counts = benchmark(classify_all, paper_result.sites)
+    rows = []
+    for name, spec in BARRIER_PRIMITIVES.items():
+        rows.append(
+            (name, f"{spec.description:<28} sites={counts.get(name, 0)}")
+        )
+    seq = sum(
+        count for name, count in counts.items()
+        if name not in BARRIER_PRIMITIVES
+    )
+    rows.append(("(seqcount helpers)", f"{'embedded barriers':<28} "
+                                       f"sites={seq}"))
+    emit("table1", render_table("Table 1: barriers used by Linux", rows))
+    # The corpus must exercise the core primitives.
+    for primitive in ("smp_rmb", "smp_wmb", "smp_mb"):
+        assert counts[primitive] > 0

@@ -1,0 +1,50 @@
+"""Table 2 — barrier semantics of atomic/bitop/wake-up helpers.
+
+Measures semantics lookups over every call recorded in the paper-scale
+corpus and renders Table 2 (the paper's five exemplar rows).
+"""
+
+from repro.core.report import render_table
+from repro.kernel.semantics import FUNCTION_SEMANTICS, semantics_of
+
+TABLE2_ROWS = [
+    "atomic_inc",
+    "atomic_inc_and_test",
+    "set_bit",
+    "test_and_set_bit",
+    "wake_up_process",
+]
+
+
+def lookup_sweep(names):
+    hits = 0
+    for name in names:
+        if semantics_of(name) is not None:
+            hits += 1
+    return hits
+
+
+def test_table2_semantics_lookups(benchmark, paper_corpus, emit):
+    # Every identifier-like call name in the corpus, as the lookup load.
+    names = []
+    for text in paper_corpus.source.files.values():
+        for token in text.replace("(", " ( ").split():
+            if token in FUNCTION_SEMANTICS:
+                names.append(token)
+    hits = benchmark(lookup_sweep, names)
+    assert hits == len(names)
+
+    def fmt(spec):
+        check = lambda b: "yes" if b else "no "
+        return (
+            f"compiler={check(spec.compiler_barrier)} "
+            f"memory={check(spec.memory_barrier)}  {spec.description}"
+        )
+
+    rows = [(name, fmt(semantics_of(name))) for name in TABLE2_ROWS]
+    emit("table2", render_table(
+        "Table 2: barrier semantics of kernel helpers", rows
+    ))
+    spec = semantics_of("atomic_inc")
+    assert not spec.memory_barrier
+    assert semantics_of("wake_up_process").memory_barrier

@@ -1,0 +1,53 @@
+"""Shared fixtures for the benchmark suite.
+
+The full paper-scale corpus and its analysis are expensive, so they are
+computed once per session and shared.  Every benchmark renders its
+table/figure to stdout *and* to ``benchmarks/output/<name>.txt`` so the
+artifacts survive the run (EXPERIMENTS.md references them).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.engine import OFenceEngine
+from repro.corpus import CorpusSpec, generate_corpus, score_run
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+#: Seed used across all benchmarks: the corpus is deterministic.
+SEED = 2023
+
+
+@pytest.fixture(scope="session")
+def paper_corpus():
+    return generate_corpus(CorpusSpec.paper(), seed=SEED)
+
+
+@pytest.fixture(scope="session")
+def paper_result(paper_corpus):
+    return OFenceEngine(paper_corpus.source).analyze()
+
+
+@pytest.fixture(scope="session")
+def paper_score(paper_corpus, paper_result):
+    return score_run(paper_result, paper_corpus.truth)
+
+
+@pytest.fixture(scope="session")
+def small_corpus():
+    return generate_corpus(CorpusSpec.small(), seed=SEED)
+
+
+@pytest.fixture
+def emit():
+    """``emit(name, text)`` — print and persist a rendered artifact."""
+
+    def _emit(name: str, text: str) -> None:
+        OUTPUT_DIR.mkdir(exist_ok=True)
+        (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}\n")
+
+    return _emit

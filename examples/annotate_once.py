@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Section 7 extension: adding missing READ_ONCE/WRITE_ONCE (Patch 5).
+
+On pairings whose ordering is *correct*, OFence proposes annotations for
+the plain concurrent accesses so the compiler cannot tear, fuse or
+re-materialize them.
+
+Run:  python examples/annotate_once.py
+"""
+
+from repro import AnalysisOptions, KernelSource, OFenceEngine
+
+SELECT_C = """\
+struct poll_wqueues { int triggered; int polling_task; };
+
+static int pollwake(struct poll_wqueues *pwq)
+{
+\tpwq->polling_task = 1;
+\tsmp_wmb();
+\tpwq->triggered = 1;
+\treturn 0;
+}
+
+static int poll_schedule_timeout(struct poll_wqueues *pwq)
+{
+\tif (!pwq->triggered)
+\t\treturn 0;
+\tsmp_rmb();
+\tschedule_on(pwq->polling_task);
+\treturn 1;
+}
+"""
+
+
+def main() -> None:
+    source = KernelSource(files={"fs/select.c": SELECT_C})
+    result = OFenceEngine(source, AnalysisOptions(annotate=True)).analyze()
+
+    print("Pairing:",
+          result.pairing.pairings[0].describe())
+    print(f"\n{len(result.report.annotation_findings)} accesses need "
+          f"READ_ONCE/WRITE_ONCE:\n")
+    for finding in result.report.annotation_findings:
+        print(f"  line {finding.line}: {finding.details['macro']} "
+              f"for {finding.object_key}")
+
+    print("\nGenerated annotation patches:\n")
+    for patch in result.patches:
+        if patch.finding.kind.value == "missing-annotation" and patch.applied:
+            print(patch.diff)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Patch 1 scenario: the RPC misplaced-read bug (Linux commit f8f7e0f1).
+
+``xprt_complete_rqst`` writes the reply buffer, issues ``smp_wmb`` and
+sets ``rq_reply_bytes_recd``; ``call_decode`` must therefore check the
+flag *before* its ``smp_rmb``.  The pre-5.12 kernel checked it after —
+the CPU could prefetch ``rq_private_buf.len`` before validating the
+flag, handing userland garbage.  OFence finds the bug from the pairing
+alone and emits the same fix the kernel merged.
+
+Run:  python examples/rpc_misplaced_read.py
+"""
+
+from repro import KernelSource, OFenceEngine
+
+XPRT_C = """\
+struct rpc_rqst {
+\tint rq_private_buf_len;
+\tint rq_reply_bytes_recd;
+\tint rq_rcv_buf_len;
+};
+
+void xprt_complete_rqst(struct rpc_rqst *req, int copied)
+{
+\treq->rq_private_buf_len = copied;
+\tsmp_wmb();
+\treq->rq_reply_bytes_recd = copied;
+}
+"""
+
+CLNT_C = """\
+struct rpc_rqst {
+\tint rq_private_buf_len;
+\tint rq_reply_bytes_recd;
+\tint rq_rcv_buf_len;
+};
+
+static void call_decode(struct rpc_rqst *req)
+{
+\tsmp_rmb();
+\tif (!req->rq_reply_bytes_recd)
+\t\tgoto out;
+\treq->rq_rcv_buf_len = req->rq_private_buf_len;
+out:
+\treturn;
+}
+"""
+
+
+def main() -> None:
+    source = KernelSource(files={
+        "net/sunrpc/xprt.c": XPRT_C,
+        "net/sunrpc/clnt.c": CLNT_C,
+    })
+    result = OFenceEngine(source).analyze()
+
+    print("Cross-file pairing (writer and reader live in different files):")
+    for pairing in result.pairing.pairings:
+        print(" ", pairing.describe())
+
+    print("\nDetected deviation:")
+    for finding in result.report.ordering_findings:
+        print(" ", finding.describe())
+
+    print("\nGenerated patch (compare with kernel commit f8f7e0f1):\n")
+    for patch in result.patches:
+        if patch.finding.kind.value == "misplaced-memory-access":
+            print(patch.render())
+
+
+if __name__ == "__main__":
+    main()

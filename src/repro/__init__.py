@@ -1,0 +1,62 @@
+"""OFence reproduction — pairing memory barriers to find concurrency bugs.
+
+Reproduction of *OFence: Pairing Barriers to Find Concurrency Bugs in the
+Linux Kernel* (Lepers, Giet, Lawall, Zwaenepoel — EuroSys 2023).
+
+Quickstart::
+
+    from repro import OFenceEngine, KernelSource
+
+    source = KernelSource(files={"demo.c": C_CODE})
+    result = OFenceEngine(source).analyze()
+    for pairing in result.pairing.pairings:
+        print(pairing.describe())
+    for patch in result.patches:
+        print(patch.render())
+
+Public surface:
+
+* :class:`~repro.core.engine.OFenceEngine` — the full pipeline;
+* :class:`~repro.core.engine.KernelSource`,
+  :class:`~repro.core.engine.AnalysisOptions` — inputs;
+* :class:`~repro.analysis.barrier_scan.ScanLimits` — exploration windows;
+* :mod:`repro.corpus` — the synthetic kernel used by the evaluation;
+* :mod:`repro.cparse`, :mod:`repro.cfg` — the C frontend substrate.
+"""
+
+from repro.analysis.barrier_scan import BarrierScanner, BarrierSite, ScanLimits
+from repro.checkers import CheckerSuite, DeviationKind, Finding
+from repro.core.engine import (
+    AnalysisOptions,
+    AnalysisResult,
+    KernelSource,
+    OFenceEngine,
+)
+from repro.core.report import EvaluationReport
+from repro.kernel.config import KernelConfig, default_config
+from repro.pairing import Pairing, PairingEngine, PairingResult
+from repro.patching import Patch, PatchGenerator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "OFenceEngine",
+    "KernelSource",
+    "AnalysisOptions",
+    "AnalysisResult",
+    "ScanLimits",
+    "BarrierScanner",
+    "BarrierSite",
+    "PairingEngine",
+    "Pairing",
+    "PairingResult",
+    "CheckerSuite",
+    "DeviationKind",
+    "Finding",
+    "Patch",
+    "PatchGenerator",
+    "KernelConfig",
+    "default_config",
+    "EvaluationReport",
+    "__version__",
+]

@@ -1,0 +1,33 @@
+"""Memory-access extraction and barrier scanning.
+
+This package turns parsed functions into the artifacts Algorithm 1
+consumes: barrier call sites (:class:`~repro.analysis.barrier_scan.BarrierSite`)
+annotated with the shared objects — ``(struct, field)`` tuples — accessed
+within the bounded exploration windows around each barrier.
+"""
+
+from repro.analysis.accesses import (
+    AccessExtractor,
+    AccessKind,
+    MemoryAccess,
+    ObjectKey,
+)
+from repro.analysis.barrier_scan import (
+    BarrierScanner,
+    BarrierSite,
+    ObjectUse,
+    ScanLimits,
+)
+from repro.analysis.objects import SharedObjectIndex
+
+__all__ = [
+    "AccessExtractor",
+    "AccessKind",
+    "MemoryAccess",
+    "ObjectKey",
+    "BarrierScanner",
+    "BarrierSite",
+    "ObjectUse",
+    "ScanLimits",
+    "SharedObjectIndex",
+]

@@ -1,0 +1,162 @@
+"""Barrier-comment hints and pairing verification (§8).
+
+"We have also found the comments around barriers to be useful in
+determining the intent of a particular use of a barrier and, when
+possible, have used them to verify the correctness of the pairings
+performed by OFence.  Unfortunately, currently less than 20 % of the
+barriers in the Linux kernel are commented."
+
+This module extracts *pairing hints* — comments of the shape
+``/* paired with smp_rmb() in foo() */`` — attaches them to the barrier
+call sites they annotate, and verifies each OFence pairing against its
+hints: a pairing is **confirmed** when it contains a barrier in the
+hinted function (of the hinted primitive, when given) and
+**contradicted** otherwise.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.analysis.barrier_scan import BarrierSite
+from repro.cparse.comments import Comment, extract_comments
+from repro.pairing.model import Pairing
+
+#: "paired with smp_rmb() in foo()", "pairs with the wmb in bar", ...
+_HINT_RE = re.compile(
+    r"pair(?:ed|s)?\s+with\s+(?:the\s+)?"
+    r"(?:\[?barrier\]?|(?P<primitive>\w+))(?:\(\))?"
+    r"(?:\s+(?:barrier\s+)?in\s+(?P<function>\w+))?",
+    re.IGNORECASE,
+)
+
+
+@dataclass(frozen=True)
+class PairingHint:
+    """One parsed pairing comment."""
+
+    filename: str
+    line: int
+    primitive: str | None
+    function: str | None
+    raw: str
+
+
+def extract_hints(source: str, filename: str) -> list[PairingHint]:
+    """Pairing hints from a file's comments."""
+    hints: list[PairingHint] = []
+    for comment in extract_comments(source, filename):
+        match = _HINT_RE.search(comment.text)
+        if match is None:
+            continue
+        primitive = match.group("primitive")
+        if primitive is not None and primitive.lower() in (
+            "a", "an", "its", "other",
+        ):
+            primitive = None
+        hints.append(
+            PairingHint(
+                filename=filename,
+                line=comment.end_line,
+                primitive=primitive,
+                function=match.group("function"),
+                raw=comment.text,
+            )
+        )
+    return hints
+
+
+def attach_hints(
+    sites: list[BarrierSite], hints: list[PairingHint], window: int = 3
+) -> dict[str, PairingHint]:
+    """barrier_id -> hint, for hints within ``window`` lines above a site."""
+    by_file: dict[str, list[PairingHint]] = {}
+    for hint in hints:
+        by_file.setdefault(hint.filename, []).append(hint)
+    attached: dict[str, PairingHint] = {}
+    for site in sites:
+        candidates = [
+            h for h in by_file.get(site.filename, ())
+            if 0 <= site.line - h.line <= window
+        ]
+        if candidates:
+            best = max(candidates, key=lambda h: h.line)
+            attached[site.barrier_id] = best
+    return attached
+
+
+@dataclass
+class CommentVerification:
+    """Pairings cross-checked against their comment hints."""
+
+    confirmed: list[tuple[Pairing, PairingHint]] = field(default_factory=list)
+    contradicted: list[tuple[Pairing, PairingHint]] = field(default_factory=list)
+    #: Hints that no pairing covers (unpaired commented barriers).
+    unmatched_hints: list[PairingHint] = field(default_factory=list)
+    total_barriers: int = 0
+    commented_barriers: int = 0
+
+    @property
+    def comment_coverage(self) -> float:
+        if self.total_barriers == 0:
+            return 0.0
+        return self.commented_barriers / self.total_barriers
+
+    @property
+    def agreement(self) -> float:
+        checked = len(self.confirmed) + len(self.contradicted)
+        return len(self.confirmed) / checked if checked else 1.0
+
+
+def verify_pairings(
+    pairings: list[Pairing],
+    sites: list[BarrierSite],
+    hints: list[PairingHint],
+) -> CommentVerification:
+    """Cross-check pairings against pairing comments."""
+    attached = attach_hints(sites, hints)
+    result = CommentVerification(
+        total_barriers=len(sites),
+        commented_barriers=len(attached),
+    )
+    used: set[int] = set()
+    for pairing in pairings:
+        for barrier in pairing.barriers:
+            hint = attached.get(barrier.barrier_id)
+            if hint is None:
+                continue
+            used.add(id(hint))
+            if _hint_satisfied(pairing, barrier, hint):
+                result.confirmed.append((pairing, hint))
+            else:
+                result.contradicted.append((pairing, hint))
+    result.unmatched_hints = [
+        h for h in attached.values() if id(h) not in used
+    ]
+    return result
+
+
+def verify_result(result, source) -> CommentVerification:
+    """Verify a full :class:`~repro.core.engine.AnalysisResult` against
+    the pairing comments of its analyzed files."""
+    hints: list[PairingHint] = []
+    for path in sorted({site.filename for site in result.sites}):
+        text = source.files.get(path)
+        if text is not None:
+            hints.extend(extract_hints(text, path))
+    return verify_pairings(result.pairing.pairings, result.sites, hints)
+
+
+def _hint_satisfied(
+    pairing: Pairing, origin: BarrierSite, hint: PairingHint
+) -> bool:
+    for barrier in pairing.barriers:
+        if barrier.barrier_id == origin.barrier_id:
+            continue
+        if hint.function is not None and barrier.function != hint.function:
+            continue
+        if hint.primitive is not None and barrier.primitive != hint.primitive:
+            continue
+        return True
+    return False

@@ -1,0 +1,42 @@
+"""Shared-object bookkeeping across functions.
+
+A tuple ``(struct, field)`` accessed by at least two functions is a
+*shared object* (§3).  The :class:`SharedObjectIndex` records, per object
+key, which functions touch it, letting the pairing stage restrict barrier
+windows to genuinely shared objects.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.analysis.accesses import ObjectKey
+
+
+@dataclass
+class SharedObjectIndex:
+    """Object key -> set of (file, function) that access it."""
+
+    _users: dict[ObjectKey, set[tuple[str, str]]] = field(
+        default_factory=lambda: defaultdict(set)
+    )
+
+    def record(self, key: ObjectKey, filename: str, function: str) -> None:
+        self._users[key].add((filename, function))
+
+    def users(self, key: ObjectKey) -> set[tuple[str, str]]:
+        return self._users.get(key, set())
+
+    def is_shared(self, key: ObjectKey) -> bool:
+        """Accessed by at least two distinct functions?"""
+        return len(self._users.get(key, ())) >= 2
+
+    def shared_keys(self) -> list[ObjectKey]:
+        return sorted(
+            (k for k, users in self._users.items() if len(users) >= 2),
+            key=lambda k: (k.struct, k.field),
+        )
+
+    def __len__(self) -> int:
+        return len(self._users)

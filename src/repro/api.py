@@ -1,0 +1,141 @@
+"""High-level convenience API.
+
+One-call wrappers for the common workflows::
+
+    import repro.api as ofence
+
+    analysis = ofence.analyze_source(C_CODE)
+    analysis.pairings          # inferred concurrency
+    analysis.findings          # ordering bugs
+    analysis.patches           # explanatory fixes
+    analysis.validate()        # litmus-check every pairing
+
+    ofence.analyze_files({"a.c": ..., "b.c": ...})
+    ofence.analyze_directory("path/to/tree")
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.barrier_scan import ScanLimits
+from repro.checkers.model import Finding
+from repro.core.engine import (
+    AnalysisOptions,
+    AnalysisResult,
+    KernelSource,
+    OFenceEngine,
+)
+from repro.pairing.model import Pairing
+from repro.patching.generate import Patch
+
+
+@dataclass
+class Analysis:
+    """Friendly view over an :class:`AnalysisResult`."""
+
+    result: AnalysisResult
+    engine: OFenceEngine
+
+    @property
+    def pairings(self) -> list[Pairing]:
+        return self.result.pairing.pairings
+
+    @property
+    def findings(self) -> list[Finding]:
+        return self.result.report.ordering_findings
+
+    @property
+    def unneeded_barriers(self) -> list[Finding]:
+        return self.result.report.unneeded_findings
+
+    @property
+    def annotations(self) -> list[Finding]:
+        return self.result.report.annotation_findings
+
+    @property
+    def patches(self) -> list[Patch]:
+        return self.result.patches
+
+    @property
+    def is_clean(self) -> bool:
+        """No ordering findings (unneeded barriers are advisory)."""
+        return not self.findings
+
+    def validate(self) -> list["ValidationSummary"]:
+        """Litmus-check every two-barrier pairing (Figures 2/3)."""
+        from repro.litmus import validate_pairing
+
+        summaries: list[ValidationSummary] = []
+        for pairing in self.pairings:
+            if pairing.is_multi:
+                continue
+            writer, reader = pairing.barriers[0], pairing.barriers[1]
+            if not writer.is_write_barrier:
+                writer, reader = reader, writer
+            if not reader.is_read_barrier:
+                continue
+            validation = validate_pairing(pairing)
+            summaries.append(
+                ValidationSummary(
+                    pairing=pairing,
+                    consistent=validation.is_consistent,
+                    inconsistent_outcomes=len(validation.inconsistent),
+                )
+            )
+        return summaries
+
+    def to_json(self, include_diffs: bool = False) -> str:
+        from repro.core.export import result_to_json
+
+        return result_to_json(self.result, include_diffs=include_diffs)
+
+
+@dataclass
+class ValidationSummary:
+    pairing: Pairing
+    consistent: bool
+    inconsistent_outcomes: int
+
+    def describe(self) -> str:
+        status = "consistent" if self.consistent else (
+            f"{self.inconsistent_outcomes} INCONSISTENT outcome(s)"
+        )
+        return f"{self.pairing.describe()}: {status}"
+
+
+def analyze_files(
+    files: dict[str, str],
+    headers: dict[str, str] | None = None,
+    write_window: int = 5,
+    read_window: int = 50,
+    annotate: bool = True,
+) -> Analysis:
+    """Analyze in-memory sources."""
+    source = KernelSource(files=dict(files), headers=dict(headers or {}))
+    options = AnalysisOptions(
+        limits=ScanLimits(write_window=write_window,
+                          read_window=read_window),
+        annotate=annotate,
+    )
+    engine = OFenceEngine(source, options)
+    return Analysis(result=engine.analyze(), engine=engine)
+
+
+def analyze_source(text: str, filename: str = "input.c", **kwargs) -> Analysis:
+    """Analyze a single source string."""
+    return analyze_files({filename: text}, **kwargs)
+
+
+def analyze_directory(root, **kwargs) -> Analysis:
+    """Analyze all ``*.c`` files under ``root`` (headers auto-resolved)."""
+    source = KernelSource.from_directory(root)
+    options = AnalysisOptions(
+        limits=ScanLimits(
+            write_window=kwargs.pop("write_window", 5),
+            read_window=kwargs.pop("read_window", 50),
+        ),
+        annotate=kwargs.pop("annotate", True),
+    )
+    engine = OFenceEngine(source, options)
+    return Analysis(result=engine.analyze(), engine=engine)

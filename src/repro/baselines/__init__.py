@@ -1,0 +1,17 @@
+"""Baseline analyses the paper compares against.
+
+The paper's claim (§1, §8): existing concurrency tools infer concurrency
+by pairing *locks* (lockset analyses — Eraser, RacerX) and cannot reason
+about barrier-ordered lockless code — "code surrounding barriers is
+either always reported as erroneous, or ignored"; none of the 12 bugs
+could have been found by existing tools.
+
+:mod:`repro.baselines.lockset` implements that baseline: an Eraser-style
+lockset race detector with RacerX-style lock-based function pairing,
+running on the same frontend and corpus so the comparison is apples to
+apples.
+"""
+
+from repro.baselines.lockset import LocksetAnalysis, LocksetReport, RaceCandidate
+
+__all__ = ["LocksetAnalysis", "LocksetReport", "RaceCandidate"]

@@ -1,0 +1,220 @@
+"""Eraser/RacerX-style lockset analysis (the baseline).
+
+For every function, a linear walk tracks the set of locks held at each
+statement (lock identity = the spelled lock argument).  Every
+structure-field access is recorded with its lockset.  Then:
+
+* **Eraser rule** — a shared object (accessed by ≥2 functions, at least
+  one write) whose locksets have an empty intersection is a *race
+  candidate*;
+* **RacerX pairing** — two functions may run concurrently when they
+  take a common lock.
+
+The baseline shares OFence's frontend (same parser, same access
+extraction), so differences in results are purely algorithmic.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.analysis.accesses import AccessExtractor, ObjectKey
+from repro.cfg.builder import build_cfg
+from repro.cfg.walk import iter_calls, iter_expressions
+from repro.cparse import astnodes as ast
+from repro.cparse.typesys import TypeRegistry
+from repro.patching.render import render_expr
+
+#: lock-acquire name -> matching release name.
+LOCK_PAIRS: dict[str, str] = {
+    "spin_lock": "spin_unlock",
+    "spin_lock_irq": "spin_unlock_irq",
+    "spin_lock_irqsave": "spin_unlock_irqrestore",
+    "spin_lock_bh": "spin_unlock_bh",
+    "raw_spin_lock": "raw_spin_unlock",
+    "mutex_lock": "mutex_unlock",
+    "mutex_lock_interruptible": "mutex_unlock",
+    "read_lock": "read_unlock",
+    "write_lock": "write_unlock",
+    "down_read": "up_read",
+    "down_write": "up_write",
+    "rcu_read_lock": "rcu_read_unlock",
+}
+
+_RELEASES = {v: k for k, v in LOCK_PAIRS.items()}
+
+
+@dataclass(frozen=True)
+class RaceCandidate:
+    """One Eraser-rule violation."""
+
+    key: ObjectKey
+    functions: tuple[str, ...]
+    has_write: bool
+
+    def describe(self) -> str:
+        fns = ", ".join(self.functions[:4])
+        return f"race candidate on {self.key} in [{fns}]"
+
+
+@dataclass
+class AccessRecord:
+    function: str
+    filename: str
+    lockset: frozenset[str]
+    writes: bool
+
+
+@dataclass
+class LocksetReport:
+    """Output of a lockset run."""
+
+    candidates: list[RaceCandidate] = field(default_factory=list)
+    #: function pairs sharing at least one lock (RacerX concurrency).
+    lock_pairs: list[tuple[str, str]] = field(default_factory=list)
+    #: functions that take at least one lock.
+    locked_functions: set[str] = field(default_factory=set)
+    accesses_seen: int = 0
+
+    def candidate_keys(self) -> set[ObjectKey]:
+        return {c.key for c in self.candidates}
+
+
+class LocksetAnalysis:
+    """Runs the baseline over parsed translation units."""
+
+    def __init__(self) -> None:
+        self._records: dict[ObjectKey, list[AccessRecord]] = defaultdict(list)
+        self._locks_of_function: dict[str, set[str]] = defaultdict(set)
+        self._accesses = 0
+
+    # -- population -----------------------------------------------------------
+
+    def add_unit(self, unit: ast.TranslationUnit, filename: str) -> None:
+        registry = TypeRegistry()
+        registry.add_unit(unit)
+        for fn in unit.functions:
+            self._analyze_function(fn, filename, registry)
+
+    def _analyze_function(
+        self, fn: ast.FunctionDef, filename: str, registry: TypeRegistry
+    ) -> None:
+        cfg = build_cfg(fn)
+        extractor = AccessExtractor(registry)
+        extractor.declare_params(fn)
+        held: set[str] = set()
+        for stmt in cfg.linear:
+            if isinstance(stmt.node, ast.DeclStmt):
+                extractor.declare_locals(stmt.node)
+            # Lock transitions first when the statement is a pure
+            # lock/unlock call; accesses in the same statement otherwise
+            # see the pre-transition lockset (conservative).
+            for expr in iter_expressions(stmt):
+                for call in iter_calls(expr):
+                    name = call.callee_name
+                    if name is None:
+                        continue
+                    lock_name = self._lock_identity(call, extractor)
+                    if name in LOCK_PAIRS:
+                        held.add(lock_name)
+                        self._locks_of_function[fn.name].add(lock_name)
+                    elif name in _RELEASES:
+                        held.discard(lock_name)
+            for expr in iter_expressions(stmt):
+                for access in extractor.extract(expr):
+                    if not access.key.is_resolved:
+                        continue
+                    self._accesses += 1
+                    self._records[access.key].append(
+                        AccessRecord(
+                            function=fn.name,
+                            filename=filename,
+                            lockset=frozenset(held),
+                            writes=access.kind.writes,
+                        )
+                    )
+
+    @staticmethod
+    def _lock_identity(call: ast.Call, extractor: AccessExtractor) -> str:
+        """Aliasing-robust lock identity.
+
+        A lock named via a struct member resolves to its
+        ``(struct, field)`` key — the same identity two functions use
+        for the same lock through different variable names.  Other
+        spellings fall back to the rendered expression.
+        """
+        if not call.args:
+            return call.callee_name or "<lock>"
+        arg = call.args[0]
+        if isinstance(arg, ast.Unary) and arg.op == "&" and arg.prefix:
+            arg = arg.operand
+        if isinstance(arg, ast.Member):
+            key = extractor.key_of(arg)
+            if key.is_resolved:
+                return str(key)
+        return render_expr(call.args[0])
+
+    # -- reporting ----------------------------------------------------------------
+
+    def report(self) -> LocksetReport:
+        report = LocksetReport(accesses_seen=self._accesses)
+        report.locked_functions = {
+            fn for fn, locks in self._locks_of_function.items() if locks
+        }
+
+        for key, records in sorted(
+            self._records.items(), key=lambda kv: (kv[0].struct, kv[0].field)
+        ):
+            functions = {r.function for r in records}
+            if len(functions) < 2:
+                continue
+            if not any(r.writes for r in records):
+                continue
+            common = frozenset.intersection(
+                *(r.lockset for r in records)
+            )
+            if common:
+                continue
+            report.candidates.append(
+                RaceCandidate(
+                    key=key,
+                    functions=tuple(sorted(functions)),
+                    has_write=True,
+                )
+            )
+
+        by_lock: dict[str, set[str]] = defaultdict(set)
+        for fn, locks in self._locks_of_function.items():
+            for lock in locks:
+                by_lock[lock].add(fn)
+        seen: set[tuple[str, str]] = set()
+        for functions in by_lock.values():
+            ordered = sorted(functions)
+            for i in range(len(ordered)):
+                for j in range(i + 1, len(ordered)):
+                    seen.add((ordered[i], ordered[j]))
+        report.lock_pairs = sorted(seen)
+        return report
+
+
+def run_lockset_baseline(source, config=None) -> LocksetReport:
+    """Run the baseline over a :class:`~repro.core.engine.KernelSource`."""
+    from repro.cparse.parser import parse_source
+    from repro.kernel.config import default_config
+
+    config = config if config is not None else default_config()
+    analysis = LocksetAnalysis()
+    for path, text in sorted(source.files.items()):
+        option = source.file_options.get(path)
+        if option is not None and not config.is_enabled(option):
+            continue
+        try:
+            unit = parse_source(
+                text, path, defines=config.defines(),
+                include_resolver=source.resolve_include,
+            )
+        except Exception:
+            continue
+        analysis.add_unit(unit, path)
+    return analysis.report()

@@ -1,0 +1,27 @@
+"""Control-flow-graph substrate (replaces Smatch's CFGs).
+
+A :class:`~repro.cfg.model.FunctionCFG` provides two views of a function
+body:
+
+* a *linearized statement stream* — every leaf statement gets a
+  monotonically increasing ``stmt_id`` in source order.  The OFence
+  distance metric ("number of statements that separates an access from the
+  barrier") is computed on this stream;
+* *basic blocks* with successor edges, used for reachability questions
+  (e.g. is this re-read on a path that already read the flag?).
+"""
+
+from repro.cfg.builder import CFGBuilder, build_cfg
+from repro.cfg.model import BasicBlock, FunctionCFG, LinearStmt
+from repro.cfg.walk import backward_window, forward_window, iter_expressions
+
+__all__ = [
+    "CFGBuilder",
+    "build_cfg",
+    "BasicBlock",
+    "FunctionCFG",
+    "LinearStmt",
+    "forward_window",
+    "backward_window",
+    "iter_expressions",
+]

@@ -1,0 +1,260 @@
+"""Builds per-function CFGs from parsed ASTs.
+
+The builder performs a single pass over a function body, linearizing leaf
+statements in source order (assigning ``stmt_id``s) and constructing basic
+blocks with successor edges.  Gotos are resolved with a label fixup pass.
+"""
+
+from __future__ import annotations
+
+from repro.cfg.model import BasicBlock, FunctionCFG, LinearStmt
+from repro.cparse import astnodes as ast
+
+
+class CFGBuilder:
+    """Single-use builder; call :func:`build_cfg` for convenience."""
+
+    def __init__(self, function: ast.FunctionDef):
+        self._fn = function
+        self._cfg = FunctionCFG(function=function)
+        self._next_block_id = 0
+        self._depth = 0
+        self._break_targets: list[BasicBlock] = []
+        self._continue_targets: list[BasicBlock] = []
+        self._labels: dict[str, BasicBlock] = {}
+        self._pending_gotos: list[tuple[BasicBlock, str]] = []
+
+    def build(self) -> FunctionCFG:
+        entry = self._new_block()
+        self._cfg.entry_block = entry.block_id
+        exit_block = self._new_block()
+        self._cfg.exit_block = exit_block.block_id
+        body = self._fn.body or ast.Block()
+        last = self._emit_stmt(body, entry, exit_block)
+        if last is not None:
+            last.add_successor(exit_block)
+        for block, label in self._pending_gotos:
+            target = self._labels.get(label)
+            if target is not None:
+                block.add_successor(target)
+            else:
+                block.add_successor(exit_block)
+        return self._cfg
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _new_block(self) -> BasicBlock:
+        block = BasicBlock(self._next_block_id)
+        self._next_block_id += 1
+        self._cfg.blocks[block.block_id] = block
+        return block
+
+    def _append(
+        self,
+        node: ast.Stmt,
+        block: BasicBlock,
+        kind: str = "stmt",
+        expr: ast.Expr | None = None,
+    ) -> LinearStmt:
+        stmt = LinearStmt(
+            stmt_id=len(self._cfg.linear),
+            node=node,
+            kind=kind,
+            expr=expr,
+            depth=self._depth,
+        )
+        self._cfg.linear.append(stmt)
+        block.stmt_ids.append(stmt.stmt_id)
+        self._cfg.stmt_block[stmt.stmt_id] = block.block_id
+        return stmt
+
+    # -- statement emission ------------------------------------------------------
+    #
+    # Each _emit_* receives the current block and returns the block where
+    # control continues, or None when the path terminates (return/goto/...).
+
+    def _emit_stmt(
+        self, node: ast.Stmt, block: BasicBlock, exit_block: BasicBlock
+    ) -> BasicBlock | None:
+        if isinstance(node, ast.Block):
+            self._depth += 1
+            current: BasicBlock | None = block
+            for child in node.stmts:
+                if current is None:
+                    # Unreachable code after return/goto: keep linearizing
+                    # (the distance metric needs ids) in a detached block.
+                    current = self._new_block()
+                current = self._emit_stmt(child, current, exit_block)
+            self._depth -= 1
+            return current
+
+        if isinstance(node, ast.If):
+            cond = self._append(node, block, kind="cond", expr=node.cond)
+            then_block = self._new_block()
+            block.add_successor(then_block)
+            then_end = self._emit_stmt(node.then, then_block, exit_block) \
+                if node.then else then_block
+            join = self._new_block()
+            if node.orelse is not None:
+                else_block = self._new_block()
+                block.add_successor(else_block)
+                else_end = self._emit_stmt(node.orelse, else_block, exit_block)
+                if else_end is not None:
+                    else_end.add_successor(join)
+            else:
+                block.add_successor(join)
+            if then_end is not None:
+                then_end.add_successor(join)
+            return join
+
+        if isinstance(node, ast.While):
+            head = self._new_block()
+            block.add_successor(head)
+            self._append(node, head, kind="cond", expr=node.cond)
+            body_block = self._new_block()
+            after = self._new_block()
+            head.add_successor(body_block)
+            head.add_successor(after)
+            self._break_targets.append(after)
+            self._continue_targets.append(head)
+            body_end = self._emit_stmt(node.body, body_block, exit_block) \
+                if node.body else body_block
+            self._continue_targets.pop()
+            self._break_targets.pop()
+            if body_end is not None:
+                body_end.add_successor(head)
+            return after
+
+        if isinstance(node, ast.DoWhile):
+            body_block = self._new_block()
+            block.add_successor(body_block)
+            after = self._new_block()
+            tail = self._new_block()  # condition evaluation block
+            self._break_targets.append(after)
+            self._continue_targets.append(tail)
+            body_end = self._emit_stmt(node.body, body_block, exit_block) \
+                if node.body else body_block
+            self._continue_targets.pop()
+            self._break_targets.pop()
+            if body_end is not None:
+                body_end.add_successor(tail)
+            self._append(node, tail, kind="cond", expr=node.cond)
+            tail.add_successor(body_block)
+            tail.add_successor(after)
+            return after
+
+        if isinstance(node, ast.For):
+            current = block
+            if node.init is not None:
+                maybe = self._emit_stmt(node.init, current, exit_block)
+                current = maybe if maybe is not None else self._new_block()
+            head = self._new_block()
+            current.add_successor(head)
+            if node.cond is not None:
+                self._append(node, head, kind="cond", expr=node.cond)
+            body_block = self._new_block()
+            after = self._new_block()
+            head.add_successor(body_block)
+            head.add_successor(after)
+            step_block = self._new_block()
+            self._break_targets.append(after)
+            self._continue_targets.append(step_block)
+            body_end = self._emit_stmt(node.body, body_block, exit_block) \
+                if node.body else body_block
+            self._continue_targets.pop()
+            self._break_targets.pop()
+            if body_end is not None:
+                body_end.add_successor(step_block)
+            if node.step is not None:
+                self._append(node, step_block, kind="stmt", expr=node.step)
+            step_block.add_successor(head)
+            return after
+
+        if isinstance(node, ast.MacroLoop):
+            head = self._new_block()
+            block.add_successor(head)
+            self._append(node, head, kind="loop-head", expr=node.call)
+            body_block = self._new_block()
+            after = self._new_block()
+            head.add_successor(body_block)
+            head.add_successor(after)
+            self._break_targets.append(after)
+            self._continue_targets.append(head)
+            body_end = self._emit_stmt(node.body, body_block, exit_block) \
+                if node.body else body_block
+            self._continue_targets.pop()
+            self._break_targets.pop()
+            if body_end is not None:
+                body_end.add_successor(head)
+            return after
+
+        if isinstance(node, ast.Switch):
+            self._append(node, block, kind="cond", expr=node.expr)
+            body_block = self._new_block()
+            after = self._new_block()
+            block.add_successor(body_block)
+            block.add_successor(after)  # no-match / default fallthrough
+            self._break_targets.append(after)
+            body_end = self._emit_stmt(node.body, body_block, exit_block) \
+                if node.body else body_block
+            self._break_targets.pop()
+            if body_end is not None:
+                body_end.add_successor(after)
+            return after
+
+        if isinstance(node, ast.CaseLabel):
+            # Case labels start a new block reachable from the switch head;
+            # for the OFence analysis fallthrough continuity suffices.
+            label_block = self._new_block()
+            block.add_successor(label_block)
+            self._append(node, label_block)
+            return label_block
+
+        if isinstance(node, ast.LabelStmt):
+            label_block = self._new_block()
+            block.add_successor(label_block)
+            self._append(node, label_block)
+            self._labels[node.name] = label_block
+            return label_block
+
+        if isinstance(node, ast.Goto):
+            self._append(node, block)
+            self._pending_gotos.append((block, node.label))
+            return None
+
+        if isinstance(node, ast.Return):
+            self._append(node, block, expr=node.value)
+            block.add_successor(self._cfg.blocks[self._cfg.exit_block])
+            return None
+
+        if isinstance(node, ast.Break):
+            self._append(node, block)
+            if self._break_targets:
+                block.add_successor(self._break_targets[-1])
+            return None
+
+        if isinstance(node, ast.Continue):
+            self._append(node, block)
+            if self._continue_targets:
+                block.add_successor(self._continue_targets[-1])
+            return None
+
+        if isinstance(node, ast.ExprStmt):
+            self._append(node, block, expr=node.expr)
+            return block
+
+        if isinstance(node, ast.DeclStmt):
+            self._append(node, block)
+            return block
+
+        if isinstance(node, ast.Empty):
+            return block
+
+        # Unknown statement kinds are recorded opaquely.
+        self._append(node, block)
+        return block
+
+
+def build_cfg(function: ast.FunctionDef) -> FunctionCFG:
+    """Build the CFG + linear stream for one function definition."""
+    return CFGBuilder(function).build()

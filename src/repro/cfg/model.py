@@ -1,0 +1,102 @@
+"""CFG data model: linear statement stream + basic blocks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cparse import astnodes as ast
+
+
+@dataclass
+class LinearStmt:
+    """One leaf statement in the linearized stream.
+
+    ``kind`` distinguishes plain statements from the pseudo-statements
+    created for control-flow conditions:
+
+    * ``"stmt"`` — expression statements, declarations, returns, jumps;
+    * ``"cond"`` — the condition expression of if/while/do/for/switch;
+    * ``"loop-head"`` — a kernel iterator macro call (``for_each_*``).
+    """
+
+    stmt_id: int
+    node: ast.Stmt
+    kind: str = "stmt"
+    expr: ast.Expr | None = None
+    #: Nesting depth of enclosing compound statements (diagnostics only).
+    depth: int = 0
+
+    @property
+    def line(self) -> int:
+        return self.node.line
+
+    @property
+    def location(self) -> str:
+        return self.node.location
+
+
+@dataclass
+class BasicBlock:
+    """A maximal straight-line sequence of statements."""
+
+    block_id: int
+    stmt_ids: list[int] = field(default_factory=list)
+    successors: list[int] = field(default_factory=list)
+    predecessors: list[int] = field(default_factory=list)
+
+    def add_successor(self, other: "BasicBlock") -> None:
+        if other.block_id not in self.successors:
+            self.successors.append(other.block_id)
+        if self.block_id not in other.predecessors:
+            other.predecessors.append(self.block_id)
+
+
+@dataclass
+class FunctionCFG:
+    """CFG + linearized statement stream of one function."""
+
+    function: ast.FunctionDef
+    linear: list[LinearStmt] = field(default_factory=list)
+    blocks: dict[int, BasicBlock] = field(default_factory=dict)
+    entry_block: int = 0
+    exit_block: int = 0
+    #: stmt_id -> block_id
+    stmt_block: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def name(self) -> str:
+        return self.function.name
+
+    def stmt(self, stmt_id: int) -> LinearStmt:
+        return self.linear[stmt_id]
+
+    def block_of(self, stmt_id: int) -> BasicBlock:
+        return self.blocks[self.stmt_block[stmt_id]]
+
+    def reachable_from(self, stmt_id: int) -> set[int]:
+        """Statement ids reachable strictly after ``stmt_id`` via CFG edges."""
+        start_block = self.block_of(stmt_id)
+        reached: set[int] = set()
+        # Later statements in the same block.
+        passed = False
+        for sid in start_block.stmt_ids:
+            if passed:
+                reached.add(sid)
+            if sid == stmt_id:
+                passed = True
+        # Statements in successor blocks (transitively).
+        seen_blocks: set[int] = set()
+        frontier = list(start_block.successors)
+        while frontier:
+            bid = frontier.pop()
+            if bid in seen_blocks:
+                continue
+            seen_blocks.add(bid)
+            block = self.blocks[bid]
+            reached.update(block.stmt_ids)
+            frontier.extend(block.successors)
+        return reached
+
+    def dominates_linearly(self, first: int, second: int) -> bool:
+        """True when ``first`` precedes ``second`` in the linear stream."""
+        return first < second

@@ -1,0 +1,118 @@
+"""Bounded walks over the linearized statement stream.
+
+The OFence exploration windows ("within 5 statements of a write memory
+barrier and 50 statements of a read barrier", §4.2) are expressed as
+bounded forward/backward walks that stop at a caller-supplied boundary —
+other barriers or atomic operations with barrier semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.cfg.model import FunctionCFG, LinearStmt
+from repro.cparse import astnodes as ast
+
+StopPredicate = Callable[[LinearStmt], bool]
+
+
+def forward_window(
+    cfg: FunctionCFG,
+    start: int,
+    limit: int,
+    stop: StopPredicate | None = None,
+) -> Iterator[tuple[LinearStmt, int]]:
+    """Yield up to ``limit`` statements after ``start`` with distances 1..limit.
+
+    The walk terminates early when ``stop`` matches a statement; the
+    matching statement itself is *not* yielded (the barrier's effect is
+    bounded *at* the next barrier, which that barrier then owns).
+    """
+    distance = 0
+    for stmt_id in range(start + 1, len(cfg.linear)):
+        stmt = cfg.linear[stmt_id]
+        if stop is not None and stop(stmt):
+            return
+        distance += 1
+        if distance > limit:
+            return
+        yield stmt, distance
+
+
+def backward_window(
+    cfg: FunctionCFG,
+    start: int,
+    limit: int,
+    stop: StopPredicate | None = None,
+) -> Iterator[tuple[LinearStmt, int]]:
+    """Yield up to ``limit`` statements before ``start`` with distances 1..limit."""
+    distance = 0
+    for stmt_id in range(start - 1, -1, -1):
+        stmt = cfg.linear[stmt_id]
+        if stop is not None and stop(stmt):
+            return
+        distance += 1
+        if distance > limit:
+            return
+        yield stmt, distance
+
+
+def iter_expressions(stmt: LinearStmt) -> Iterator[ast.Expr]:
+    """Iterate over all expressions of a linear statement.
+
+    For declarations the initializers are yielded; for expression-bearing
+    statements the expression tree root is yielded.
+    """
+    node = stmt.node
+    if stmt.expr is not None:
+        yield stmt.expr
+        return
+    if isinstance(node, ast.DeclStmt):
+        for declarator in node.declarators:
+            if declarator.init is not None:
+                yield declarator.init
+        return
+    if isinstance(node, ast.ExprStmt) and node.expr is not None:
+        yield node.expr
+    elif isinstance(node, ast.Return) and node.value is not None:
+        yield node.value
+    elif isinstance(node, ast.CaseLabel) and node.expr is not None:
+        yield node.expr
+
+
+def iter_subexpressions(expr: ast.Expr) -> Iterator[ast.Expr]:
+    """Depth-first pre-order iteration over an expression tree."""
+    stack: list[ast.Expr] = [expr]
+    while stack:
+        node = stack.pop()
+        if node is None:
+            continue
+        yield node
+        if isinstance(node, ast.Unary):
+            stack.append(node.operand)
+        elif isinstance(node, ast.Binary):
+            stack.extend((node.lhs, node.rhs))
+        elif isinstance(node, ast.Assign):
+            stack.extend((node.target, node.value))
+        elif isinstance(node, ast.Ternary):
+            stack.extend((node.cond, node.then, node.other))
+        elif isinstance(node, ast.Call):
+            stack.append(node.func)
+            stack.extend(node.args)
+        elif isinstance(node, ast.Member):
+            stack.append(node.obj)
+        elif isinstance(node, ast.Index):
+            stack.extend((node.obj, node.index))
+        elif isinstance(node, ast.Cast):
+            stack.append(node.operand)
+        elif isinstance(node, ast.InitList):
+            stack.extend(node.items)
+        elif isinstance(node, ast.CommaExpr):
+            stack.extend(node.parts)
+
+
+def iter_calls(expr: ast.Expr) -> Iterator[ast.Call]:
+    """All call expressions within ``expr``."""
+    for sub in iter_subexpressions(expr):
+        if isinstance(sub, ast.Call):
+            yield sub

@@ -1,0 +1,39 @@
+"""Ordering-constraint checkers (§5) and the §7 annotation extension.
+
+Each checker consumes pairings (or unpaired barriers) and produces
+:class:`~repro.checkers.model.Finding` records that the patching stage
+turns into explanatory patches:
+
+* :mod:`repro.checkers.unneeded` — §5.1 barriers made redundant by an
+  adjacent barrier-semantics call;
+* :mod:`repro.checkers.misplaced` — §5.2 deviation #1, reads on the wrong
+  side of a barrier (reader-biased fix);
+* :mod:`repro.checkers.wrong_type` — §5.2 deviation #2, read barriers
+  ordering only writes and vice versa;
+* :mod:`repro.checkers.reread` — §5.2 deviation #3, racy re-reads of a
+  value already read;
+* :mod:`repro.checkers.seqcount` — §5.3 duo-wise checks for multi-barrier
+  (seqcount-style) pairings;
+* :mod:`repro.checkers.annotate` — §7, missing READ_ONCE/WRITE_ONCE.
+"""
+
+from repro.checkers.annotate import AnnotationChecker
+from repro.checkers.misplaced import MisplacedAccessChecker
+from repro.checkers.model import DeviationKind, Finding
+from repro.checkers.reread import RepeatedReadChecker
+from repro.checkers.runner import CheckerSuite
+from repro.checkers.seqcount import SeqcountChecker
+from repro.checkers.unneeded import UnneededBarrierChecker
+from repro.checkers.wrong_type import WrongBarrierTypeChecker
+
+__all__ = [
+    "DeviationKind",
+    "Finding",
+    "CheckerSuite",
+    "MisplacedAccessChecker",
+    "WrongBarrierTypeChecker",
+    "RepeatedReadChecker",
+    "UnneededBarrierChecker",
+    "SeqcountChecker",
+    "AnnotationChecker",
+]

@@ -1,0 +1,104 @@
+"""Deviation #1 — misplaced memory accesses (§5.2).
+
+Barriers only provide guarantees when the writes before the write barrier
+are read *after* the read barrier and vice versa.  A shared object written
+by the writer on side *s* of its barrier and read by the reader on the
+same side *s* of its barrier is therefore misplaced.
+
+The generated fix is biased toward the correctness of the writer: "we
+always move the read" — readers keep their objects further away from the
+barrier and are empirically buggier.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.accesses import ObjectKey
+from repro.analysis.barrier_scan import BarrierSite, ObjectUse
+from repro.checkers.model import DeviationKind, Finding, FixAction
+from repro.pairing.model import Pairing
+
+
+class MisplacedAccessChecker:
+    """Checks single (two-barrier) pairings for misplaced accesses."""
+
+    def __init__(self, skip: set[tuple[int, ObjectKey]] | None = None):
+        #: (id(pairing), object) combinations already claimed by the
+        #: repeated-read checker; a re-read is patched by value reuse, not
+        #: by moving the access.
+        self._skip = skip if skip is not None else set()
+
+    def check(self, pairings: list[Pairing]) -> list[Finding]:
+        findings: list[Finding] = []
+        for pairing in pairings:
+            if pairing.is_multi:
+                continue  # handled by the seqcount checker
+            writer, reader = _roles(pairing)
+            if writer is None or reader is None:
+                continue
+            for key in pairing.common_objects:
+                if (id(pairing), key) in self._skip:
+                    continue
+                finding = self._check_object(pairing, writer, reader, key)
+                if finding is not None:
+                    findings.append(finding)
+        return findings
+
+    def _check_object(
+        self,
+        pairing: Pairing,
+        writer: BarrierSite,
+        reader: BarrierSite,
+        key: ObjectKey,
+    ) -> Finding | None:
+        write_sides = {
+            u.side for u in writer.uses
+            if u.key == key and u.kind.writes and u.inlined_from is None
+        }
+        read_uses = [
+            u for u in reader.uses
+            if u.key == key and u.kind.reads and u.inlined_from is None
+        ]
+        read_sides = {u.side for u in read_uses}
+        conflict = write_sides & read_sides
+        if not conflict or not write_sides:
+            return None
+        if read_sides == {"before", "after"}:
+            # Reads on both sides are the repeated-read checker's domain.
+            return None
+        side = sorted(conflict)[0]
+        offending = min(
+            (u for u in read_uses if u.side == side),
+            key=lambda u: u.distance,
+        )
+        target_side = "after" if side == "before" else "before"
+        explanation = (
+            f"{key} is written {side} the write barrier in "
+            f"{writer.function} and read {side} the read barrier in "
+            f"{reader.function}; the barriers provide no ordering for it. "
+            f"Moving the read {target_side} the barrier restores the "
+            f"guarantee."
+        )
+        return Finding(
+            kind=DeviationKind.MISPLACED_ACCESS,
+            filename=reader.filename,
+            function=reader.function,
+            line=offending.access.line,
+            explanation=explanation,
+            fix_action=FixAction.MOVE_READ,
+            object_key=key,
+            barrier=reader,
+            pairing=pairing,
+            use=offending,
+            details={"move_to": target_side},
+        )
+
+
+def _roles(pairing: Pairing) -> tuple[BarrierSite | None, BarrierSite | None]:
+    """(writer, reader) role assignment for a two-barrier pairing."""
+    writer = pairing.barriers[0]
+    reader = pairing.barriers[1]
+    if not writer.is_write_barrier:
+        writer, reader = reader, writer
+    if not writer.is_write_barrier or not reader.is_read_barrier:
+        return None, None
+    return writer, reader

@@ -1,0 +1,250 @@
+"""§7 — advisory detection of *missing* barriers.
+
+The paper deliberately keeps this out of the main tool: "looking for
+missing barriers leads to a high number of false positives ... the
+presence of barriers indicates that code is meant to be racy, but the
+absence of barriers does not give any information."
+
+This module implements the extension the paper sketches, as an
+*advisory* analysis (never part of Table 3):
+
+* take the pairings OFence already established — they prove the shared
+  objects are accessed concurrently and in which flag/payload shape;
+* find other functions that access the same object set in the writer
+  shape (payload written, then flag written) or the reader shape (flag
+  read, then payload read) **without any barrier in between**;
+* report them as *missing-barrier candidates*, annotated with the
+  pairing that proves concurrency.
+
+Initialization-in-isolation code (the paper's canonical false positive)
+matches the writer shape too; the report marks candidates whose writes
+look like whole-object initialization so reviewers can triage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.accesses import AccessExtractor, AccessKind, ObjectKey
+from repro.analysis.barrier_scan import BarrierSite
+from repro.cfg.builder import build_cfg
+from repro.cfg.walk import iter_calls, iter_expressions
+from repro.cparse import astnodes as ast
+from repro.cparse.typesys import TypeRegistry
+from repro.kernel.barriers import BARRIER_PRIMITIVES
+from repro.kernel.semantics import bounds_exploration_window
+from repro.pairing.model import Pairing
+
+
+@dataclass
+class MissingBarrierCandidate:
+    """One advisory finding."""
+
+    filename: str
+    function: str
+    line: int
+    shape: str  # "writer" | "reader"
+    flag: ObjectKey
+    payloads: tuple[ObjectKey, ...]
+    #: The pairing proving these objects are accessed concurrently.
+    pairing: Pairing
+    #: True when every access is a plain assignment of the whole object
+    #: set — the init-in-isolation false-positive shape (§7).
+    looks_like_initialization: bool = False
+
+    def describe(self) -> str:
+        caveat = (
+            " (possibly initialization in isolation)"
+            if self.looks_like_initialization else ""
+        )
+        return (
+            f"possible missing barrier in {self.function} "
+            f"({self.filename}:{self.line}): accesses {self.flag} and "
+            f"{len(self.payloads)} payload object(s) of a concurrent "
+            f"pairing with no barrier in between{caveat}"
+        )
+
+
+@dataclass
+class _FunctionAccessProfile:
+    filename: str
+    function: str
+    line: int
+    #: Key -> (first stmt_id, reads?, writes?)
+    first_access: dict[ObjectKey, tuple[int, bool, bool]] = field(
+        default_factory=dict
+    )
+    has_barrier: bool = False
+    access_count: int = 0
+    plain_write_count: int = 0
+    #: Plain assignments whose right-hand side is a literal constant —
+    #: the signature of initialization code.
+    constant_write_count: int = 0
+    assignment_count: int = 0
+
+
+class MissingBarrierAdvisor:
+    """Advisory missing-barrier analysis over analyzed units."""
+
+    def __init__(self) -> None:
+        self._profiles: list[_FunctionAccessProfile] = []
+
+    def add_unit(self, unit: ast.TranslationUnit, filename: str) -> None:
+        registry = TypeRegistry()
+        registry.add_unit(unit)
+        for fn in unit.functions:
+            self._profiles.append(self._profile(fn, filename, registry))
+
+    def _profile(
+        self, fn: ast.FunctionDef, filename: str, registry: TypeRegistry
+    ) -> _FunctionAccessProfile:
+        profile = _FunctionAccessProfile(
+            filename=filename, function=fn.name, line=fn.line
+        )
+        cfg = build_cfg(fn)
+        extractor = AccessExtractor(registry)
+        extractor.declare_params(fn)
+        for stmt in cfg.linear:
+            if isinstance(stmt.node, ast.DeclStmt):
+                extractor.declare_locals(stmt.node)
+            node = stmt.node
+            if isinstance(node, ast.ExprStmt) and isinstance(
+                node.expr, ast.Assign
+            ) and node.expr.op == "=" and isinstance(
+                node.expr.target, ast.Member
+            ):
+                profile.assignment_count += 1
+                if isinstance(node.expr.value,
+                              (ast.Number, ast.CharLit, ast.String)):
+                    profile.constant_write_count += 1
+            for expr in iter_expressions(stmt):
+                for call in iter_calls(expr):
+                    name = call.callee_name or ""
+                    if name in BARRIER_PRIMITIVES or \
+                            bounds_exploration_window(name):
+                        profile.has_barrier = True
+                for access in extractor.extract(expr):
+                    if not access.key.is_resolved:
+                        continue
+                    profile.access_count += 1
+                    if access.kind is AccessKind.WRITE and \
+                            access.via == "plain":
+                        profile.plain_write_count += 1
+                    if access.key not in profile.first_access:
+                        profile.first_access[access.key] = (
+                            stmt.stmt_id,
+                            access.kind.reads,
+                            access.kind.writes,
+                        )
+        return profile
+
+    # -- advisory report ---------------------------------------------------------
+
+    def advise(self, pairings: list[Pairing]) -> list[MissingBarrierCandidate]:
+        candidates: list[MissingBarrierCandidate] = []
+        seen: set[tuple[str, str]] = set()
+        for pairing in pairings:
+            shape = self._pairing_shape(pairing)
+            if shape is None:
+                continue
+            flag, payloads, paired_functions = shape
+            for profile in self._profiles:
+                key = (profile.filename, profile.function)
+                if key in seen or key in paired_functions:
+                    continue
+                if profile.has_barrier:
+                    continue
+                candidate = self._match_profile(
+                    profile, pairing, flag, payloads
+                )
+                if candidate is not None:
+                    seen.add(key)
+                    candidates.append(candidate)
+        return candidates
+
+    def _pairing_shape(self, pairing: Pairing):
+        """(flag, payloads, paired function set) of a flag/payload
+        pairing, or None when the shape is not recognisable."""
+        writer = pairing.barriers[0]
+        if not writer.is_write_barrier:
+            return None
+        flags = {
+            u.key for u in writer.uses_on("after")
+            if u.key in set(pairing.common_objects) and u.kind.writes
+            and u.inlined_from is None
+        }
+        payloads = set(pairing.common_objects) - flags
+        if len(flags) != 1 or not payloads:
+            return None
+        paired = {(b.filename, b.function) for b in pairing.barriers}
+        return next(iter(flags)), tuple(sorted(
+            payloads, key=lambda k: (k.struct, k.field)
+        )), paired
+
+    def _match_profile(
+        self,
+        profile: _FunctionAccessProfile,
+        pairing: Pairing,
+        flag: ObjectKey,
+        payloads: tuple[ObjectKey, ...],
+    ) -> MissingBarrierCandidate | None:
+        flag_access = profile.first_access.get(flag)
+        if flag_access is None:
+            return None
+        touched_payloads = [
+            key for key in payloads if key in profile.first_access
+        ]
+        if not touched_payloads:
+            return None
+        flag_stmt, flag_reads, flag_writes = flag_access
+        payload_stmts = [
+            profile.first_access[key][0] for key in touched_payloads
+        ]
+        if flag_writes and all(
+            profile.first_access[key][2] for key in touched_payloads
+        ):
+            shape = "writer"
+        elif flag_reads and all(
+            profile.first_access[key][1] for key in touched_payloads
+        ):
+            shape = "reader"
+        else:
+            return None
+        init_like = (
+            shape == "writer"
+            and profile.assignment_count > 0
+            and profile.constant_write_count == profile.assignment_count
+        )
+        return MissingBarrierCandidate(
+            filename=profile.filename,
+            function=profile.function,
+            line=profile.line,
+            shape=shape,
+            flag=flag,
+            payloads=tuple(touched_payloads),
+            pairing=pairing,
+            looks_like_initialization=init_like,
+        )
+
+
+def advise_missing_barriers(result, source, config=None):
+    """Run the advisory analysis over an engine result."""
+    from repro.cparse.parser import parse_source
+    from repro.kernel.config import default_config
+
+    config = config if config is not None else default_config()
+    advisor = MissingBarrierAdvisor()
+    analyzed_files = sorted({site.filename for site in result.sites})
+    for path in analyzed_files:
+        text = source.files.get(path)
+        if text is None:
+            continue
+        try:
+            unit = parse_source(
+                text, path, defines=config.defines(),
+                include_resolver=source.resolve_include,
+            )
+        except Exception:
+            continue
+        advisor.add_unit(unit, path)
+    return advisor.advise(result.pairing.pairings)

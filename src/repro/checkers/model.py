@@ -1,0 +1,72 @@
+"""Finding model shared by all checkers."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.analysis.accesses import ObjectKey
+from repro.analysis.barrier_scan import BarrierSite, ObjectUse
+from repro.pairing.model import Pairing
+
+
+class DeviationKind(enum.Enum):
+    """The deviation taxonomy of §5 (+ the §7 annotation extension)."""
+
+    MISPLACED_ACCESS = "misplaced-memory-access"
+    WRONG_BARRIER_TYPE = "wrong-barrier-type"
+    REPEATED_READ = "repeated-read"
+    UNNEEDED_BARRIER = "unneeded-barrier"
+    MISSING_ANNOTATION = "missing-annotation"
+
+    @property
+    def table3_bucket(self) -> str | None:
+        """Bucket name in Table 3 (None for non-bug findings)."""
+        return {
+            DeviationKind.MISPLACED_ACCESS: "Misplaced memory access",
+            DeviationKind.REPEATED_READ:
+                "Racy variable re-read after the read barrier",
+            DeviationKind.WRONG_BARRIER_TYPE:
+                "Read barrier used instead of a write barrier",
+        }.get(self)
+
+
+class FixAction(enum.Enum):
+    """What the generated patch does."""
+
+    MOVE_READ = "move-read"
+    REPLACE_BARRIER = "replace-barrier"
+    REUSE_VALUE = "reuse-value"
+    REMOVE_BARRIER = "remove-barrier"
+    ADD_ANNOTATION = "add-annotation"
+
+
+@dataclass
+class Finding:
+    """One detected deviation, carrying enough context to patch it."""
+
+    kind: DeviationKind
+    filename: str
+    function: str
+    line: int
+    explanation: str
+    fix_action: FixAction
+    object_key: ObjectKey | None = None
+    barrier: BarrierSite | None = None
+    pairing: Pairing | None = None
+    #: The offending access (read to move / re-read / access to annotate).
+    use: ObjectUse | None = None
+    #: The prior correct access a fix may reuse (deviation #3).
+    reference_use: ObjectUse | None = None
+    #: Extra per-fix data (e.g. replacement primitive name).
+    details: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def finding_id(self) -> str:
+        return f"{self.kind.value}@{self.filename}:{self.function}:{self.line}"
+
+    def describe(self) -> str:
+        return (
+            f"{self.kind.value} in {self.function} "
+            f"({self.filename}:{self.line}): {self.explanation}"
+        )

@@ -1,0 +1,173 @@
+"""Deviation #3 — racy repeated reads (§5.2).
+
+"A repeated read corresponds to a variable correctly read before a read
+barrier, and then re-read."  Two concrete shapes from the paper:
+
+* Patch 3 — the value is read on the correct side of the read barrier and
+  re-read on the wrong side (``reuse->num_socks``);
+* Patch 2 — the value is read, used in a guarding condition, and then
+  re-read instead of reusing the first read
+  (``event->ctx->task``).
+
+Both are fixed the same way: reuse the initially read value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.accesses import ObjectKey
+from repro.analysis.barrier_scan import BarrierSite, ObjectUse
+from repro.cfg.model import FunctionCFG
+from repro.checkers.model import DeviationKind, Finding, FixAction
+from repro.cparse import astnodes as ast
+from repro.pairing.model import Pairing
+
+
+@dataclass
+class RereadResult:
+    findings: list[Finding]
+    #: (id(pairing), object) keys claimed, so the misplaced checker skips them.
+    claimed: set[tuple[int, ObjectKey]]
+
+
+class RepeatedReadChecker:
+    """Finds racy re-reads within paired readers.
+
+    Requires access to the per-function CFGs (provided by the engine via
+    ``cfg_lookup``) to identify whether the first read is captured into a
+    variable that the fix can reuse.
+    """
+
+    def __init__(self, cfg_lookup=None):
+        #: ``cfg_lookup(filename, function) -> FunctionCFG | None``
+        self._cfg_lookup = cfg_lookup
+
+    def check(self, pairings: list[Pairing]) -> RereadResult:
+        findings: list[Finding] = []
+        claimed: set[tuple[int, ObjectKey]] = set()
+        for pairing in pairings:
+            if pairing.is_multi:
+                continue  # §5.3: multi pairings are checked per duo
+            for barrier in pairing.barriers:
+                if not barrier.is_read_barrier:
+                    continue
+                for key in pairing.common_objects:
+                    finding = self._check_object(pairing, barrier, key)
+                    if finding is not None:
+                        findings.append(finding)
+                        claimed.add((id(pairing), key))
+        return RereadResult(findings=findings, claimed=claimed)
+
+    def _check_object(
+        self, pairing: Pairing, reader: BarrierSite, key: ObjectKey
+    ) -> Finding | None:
+        reads = sorted(
+            (
+                u for u in reader.uses
+                if u.key == key and u.kind.reads and u.inlined_from is None
+            ),
+            key=lambda u: u.stmt_id,
+        )
+        distinct_stmts = {u.stmt_id for u in reads}
+        if len(distinct_stmts) < 2:
+            return None
+        first = reads[0]
+        later = [u for u in reads if u.stmt_id != first.stmt_id]
+        if not later:
+            return None
+
+        sides = {u.side for u in reads}
+        cross_barrier = sides == {"before", "after"} and first.side == "before"
+        captured = self._captured_variable(reader, first)
+
+        if cross_barrier:
+            offending = next(u for u in later if u.side == "after")
+        elif captured is not None and self._guard_between(reader, first, later):
+            offending = later[-1]
+        else:
+            return None
+
+        explanation = (
+            f"{key} was read at {reader.filename}:{first.access.line} and "
+            f"racily re-read at line {offending.access.line}"
+            + (
+                " after the read barrier; the re-read value is unordered"
+                if cross_barrier
+                else " despite the value being checked in between; a "
+                     "concurrent writer may have changed it"
+            )
+            + ". The fix reuses the initially read value."
+        )
+        return Finding(
+            kind=DeviationKind.REPEATED_READ,
+            filename=reader.filename,
+            function=reader.function,
+            line=offending.access.line,
+            explanation=explanation,
+            fix_action=FixAction.REUSE_VALUE,
+            object_key=key,
+            barrier=reader,
+            pairing=pairing,
+            use=offending,
+            reference_use=first,
+            details={"captured": captured or ""},
+        )
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _cfg(self, site: BarrierSite) -> FunctionCFG | None:
+        if self._cfg_lookup is None:
+            return None
+        return self._cfg_lookup(site.filename, site.function)
+
+    def _captured_variable(
+        self, site: BarrierSite, use: ObjectUse
+    ) -> str | None:
+        """Name of the local the first read was stored into, if any."""
+        return captured_variable(self._cfg(site), use)
+
+    def _guard_between(
+        self, site: BarrierSite, first: ObjectUse, later: list[ObjectUse]
+    ) -> bool:
+        """Is there a condition statement between the first read and a
+        re-read (the Patch 2 shape)?"""
+        cfg = self._cfg(site)
+        if cfg is None:
+            # Without CFG context be conservative: only the cross-barrier
+            # shape is reported.
+            return False
+        last = max(u.stmt_id for u in later)
+        for stmt_id in range(first.stmt_id + 1, last):
+            if cfg.linear[stmt_id].kind == "cond":
+                return True
+        return False
+
+
+def captured_variable(cfg: FunctionCFG | None, use: ObjectUse) -> str | None:
+    """Name of the local variable a read was captured into, if any.
+
+    Recognises ``int v = a->f;`` (declaration initializer) and
+    ``v = a->f;`` (plain assignment to a local).
+    """
+    if cfg is None or use.stmt_id >= len(cfg.linear):
+        return None
+    node = cfg.linear[use.stmt_id].node
+    if isinstance(node, ast.DeclStmt):
+        for declarator in node.declarators:
+            if declarator.init is not None and _mentions(declarator.init, use):
+                return declarator.name
+    if isinstance(node, ast.ExprStmt) and isinstance(node.expr, ast.Assign):
+        assign = node.expr
+        if isinstance(assign.target, ast.Ident) and _mentions(
+            assign.value, use
+        ):
+            return assign.target.name
+    return None
+
+
+def _mentions(expr: ast.Expr, use: ObjectUse) -> bool:
+    """Does ``expr`` contain the member access of ``use``?"""
+    from repro.cfg.walk import iter_subexpressions
+
+    return any(sub is use.access.expr for sub in iter_subexpressions(expr))

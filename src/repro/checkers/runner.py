@@ -1,0 +1,203 @@
+"""Runs all checkers in the order the deviations compose (§5).
+
+Re-reads are detected first: a re-read object is patched by value reuse,
+so the misplaced checker must not also move it.  Seqcount duos own their
+multi-barrier pairings.  Unneeded-barrier detection runs on the barriers
+pairing left alone.  Annotation proposals (§7) run last, only on pairings
+with no ordering findings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.checkers.annotate import AnnotationChecker
+from repro.checkers.misplaced import MisplacedAccessChecker
+from repro.checkers.model import DeviationKind, Finding
+from repro.checkers.reread import RepeatedReadChecker
+from repro.checkers.seqcount import SeqcountChecker
+from repro.checkers.unneeded import UnneededBarrierChecker
+from repro.checkers.wrong_type import WrongBarrierTypeChecker
+from repro.pairing.model import PairingResult
+
+
+@dataclass
+class CheckReport:
+    """All findings of one analysis run, bucketed."""
+
+    ordering_findings: list[Finding] = field(default_factory=list)
+    unneeded_findings: list[Finding] = field(default_factory=list)
+    annotation_findings: list[Finding] = field(default_factory=list)
+
+    @property
+    def all_findings(self) -> list[Finding]:
+        return (
+            self.ordering_findings
+            + self.unneeded_findings
+            + self.annotation_findings
+        )
+
+    def table3_breakdown(self) -> dict[str, int]:
+        """Counts per Table 3 bucket."""
+        buckets: dict[str, int] = {
+            "Misplaced memory access": 0,
+            "Racy variable re-read after the read barrier": 0,
+            "Read barrier used instead of a write barrier": 0,
+        }
+        for finding in self.ordering_findings:
+            bucket = finding.kind.table3_bucket
+            if bucket is not None:
+                buckets[bucket] += 1
+        return buckets
+
+
+#: Names accepted by ``CheckerSuite(checks=...)``.
+ALL_CHECKS = frozenset(
+    {"misplaced", "reread", "wrong-type", "seqcount", "unneeded",
+     "annotate"}
+)
+
+
+class CheckerSuite:
+    """Composes the §5 checkers over a pairing result.
+
+    ``checks`` selects the enabled checkers by name (see
+    :data:`ALL_CHECKS`); unknown names raise ``ValueError``.  The
+    ``annotate`` flag is kept for backwards compatibility and maps to
+    the "annotate" check.
+    """
+
+    def __init__(self, cfg_lookup=None, annotate: bool = True,
+                 checks: set[str] | frozenset[str] | None = None):
+        self._cfg_lookup = cfg_lookup
+        if checks is None:
+            checks = set(ALL_CHECKS)
+            if not annotate:
+                checks.discard("annotate")
+        unknown = set(checks) - ALL_CHECKS
+        if unknown:
+            raise ValueError(f"unknown checks: {sorted(unknown)}")
+        self._checks = frozenset(checks)
+        self._annotate = "annotate" in self._checks
+
+    def enabled(self, name: str) -> bool:
+        return name in self._checks
+
+    def run(self, result: PairingResult) -> CheckReport:
+        report = CheckReport()
+
+        # Multi pairings where every function holds exactly one barrier
+        # are overlapping simple pairs ("broadcast" shape: one protocol,
+        # several writers/readers); slice them into writer×reader duos
+        # so the single-pair checkers apply.  Figure 5-style pairings
+        # (two barriers in one function) stay whole for the seqcount
+        # checker.
+        check_list = list(result.pairings)
+        for pairing in result.pairings:
+            check_list.extend(_broadcast_slices(pairing))
+
+        claimed: set = set()
+        if self.enabled("reread"):
+            reread = RepeatedReadChecker(self._cfg_lookup)
+            reread_result = reread.check(check_list)
+            report.ordering_findings.extend(reread_result.findings)
+            claimed = reread_result.claimed
+
+        if self.enabled("misplaced"):
+            misplaced = MisplacedAccessChecker(skip=claimed)
+            report.ordering_findings.extend(misplaced.check(check_list))
+
+        if self.enabled("wrong-type"):
+            wrong_type = WrongBarrierTypeChecker()
+            report.ordering_findings.extend(
+                wrong_type.check(result.pairings)
+            )
+
+        if self.enabled("seqcount"):
+            seqcount = SeqcountChecker(self._cfg_lookup)
+            report.ordering_findings.extend(
+                seqcount.check(result.pairings)
+            )
+
+        report.ordering_findings = _dedupe_findings(
+            report.ordering_findings
+        )
+
+        if self.enabled("unneeded"):
+            unneeded = UnneededBarrierChecker()
+            report.unneeded_findings.extend(
+                unneeded.check(result.unpaired + result.implicit_ipc)
+            )
+
+        if self._annotate:
+            buggy = set()
+            for finding in report.ordering_findings:
+                if finding.pairing is None:
+                    continue
+                buggy.add(id(finding.pairing))
+                if finding.pairing.parent is not None:
+                    buggy.add(id(finding.pairing.parent))
+            annotate = AnnotationChecker()
+            report.annotation_findings.extend(
+                annotate.check(result.pairings, buggy)
+            )
+
+        report.ordering_findings.sort(
+            key=lambda f: (f.filename, f.function, f.line)
+        )
+        return report
+
+
+def _broadcast_slices(pairing) -> list:
+    """Writer×reader sub-pairings of a broadcast-shaped multi pairing."""
+    from collections import Counter
+
+    from repro.pairing.model import Pairing
+
+    if not pairing.is_multi:
+        return []
+    per_function = Counter(
+        (b.filename, b.function) for b in pairing.barriers
+    )
+    if any(count > 1 for count in per_function.values()):
+        return []  # Figure 5 shape: the seqcount checker owns it
+    writers = [b for b in pairing.barriers if b.is_write_barrier]
+    readers = [b for b in pairing.barriers if b.is_read_barrier]
+    slices = []
+    for writer in writers:
+        for reader in readers:
+            if writer.barrier_id == reader.barrier_id:
+                continue
+            common = sorted(
+                writer.keys() & reader.keys()
+                & set(pairing.common_objects),
+                key=lambda k: (k.struct, k.field),
+            )
+            if len(common) < 2:
+                continue
+            slices.append(
+                Pairing(
+                    barriers=[writer, reader],
+                    common_objects=common,
+                    weight=pairing.weight,
+                    parent=pairing,
+                )
+            )
+    return slices
+
+
+def _dedupe_findings(findings: list[Finding]) -> list[Finding]:
+    """Drop duplicate findings produced by overlapping slices."""
+    seen: set[tuple] = set()
+    out: list[Finding] = []
+    for finding in findings:
+        key = (
+            finding.kind, finding.filename, finding.function,
+            finding.line,
+            str(finding.object_key) if finding.object_key else "",
+        )
+        if key in seen:
+            continue
+        seen.add(key)
+        out.append(finding)
+    return out

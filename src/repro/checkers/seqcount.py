@@ -1,0 +1,162 @@
+"""§5.3 — multi-barrier (seqcount-style) pairings, checked per duo.
+
+In the common multi-writer/multi-reader pattern (Figure 5) four barriers
+cooperate: the writer increments a version object S0, writes the payload
+objects, and increments S0 again; the reader reads S0, reads the payload,
+and re-checks S0.  The barriers work in duos — the first write barrier
+pairs with the second read barrier and vice versa.
+
+The checkable constraint: payload objects written between the two write
+barriers must be read *between* the two read barriers.  A payload read
+after the reader's closing barrier (or before its opening one) escapes
+the version check and is misplaced.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.analysis.accesses import ObjectKey
+from repro.analysis.barrier_scan import BarrierSite
+from repro.checkers.model import DeviationKind, Finding, FixAction
+from repro.pairing.model import Pairing
+
+
+class SeqcountChecker:
+    """Checks multi-barrier pairings that match the Figure 5 shape."""
+
+    def __init__(self, cfg_lookup=None):
+        self._cfg_lookup = cfg_lookup
+
+    def check(self, pairings: list[Pairing]) -> list[Finding]:
+        findings: list[Finding] = []
+        for pairing in pairings:
+            if not pairing.is_multi:
+                continue
+            duos = self._identify_duos(pairing)
+            if duos is None:
+                continue  # uncommon multi-pattern: out of scope (§5.3)
+            (w1, w2), (r1, r2) = duos
+            findings.extend(self._check_duo(pairing, w1, w2, r1, r2))
+        return findings
+
+    def _identify_duos(
+        self, pairing: Pairing
+    ) -> tuple[tuple[BarrierSite, BarrierSite],
+               tuple[BarrierSite, BarrierSite]] | None:
+        """Figure 5 shape: one function with two write barriers, another
+        with two read barriers."""
+        by_function: dict[tuple[str, str], list[BarrierSite]] = defaultdict(list)
+        for barrier in pairing.barriers:
+            by_function[(barrier.filename, barrier.function)].append(barrier)
+        writer_duo: list[BarrierSite] | None = None
+        reader_duo: list[BarrierSite] | None = None
+        for barriers in by_function.values():
+            if len(barriers) != 2:
+                continue
+            ordered = sorted(barriers, key=lambda b: b.stmt_id)
+            if all(b.is_write_barrier for b in ordered) and writer_duo is None:
+                writer_duo = ordered
+            elif all(b.is_read_barrier for b in ordered) and reader_duo is None:
+                reader_duo = ordered
+        if writer_duo is None or reader_duo is None:
+            return None
+        return (writer_duo[0], writer_duo[1]), (reader_duo[0], reader_duo[1])
+
+    def _check_duo(
+        self,
+        pairing: Pairing,
+        w1: BarrierSite,
+        w2: BarrierSite,
+        r1: BarrierSite,
+        r2: BarrierSite,
+    ) -> list[Finding]:
+        protected_writes = self._protected_keys(w1, w2, writes=True)
+        inside_reads = self._protected_keys(r1, r2, writes=False)
+        findings: list[Finding] = []
+        for key in sorted(protected_writes, key=lambda k: (k.struct, k.field)):
+            escaped = self._escaped_read(r1, r2, key)
+            if escaped is None:
+                continue
+            reference = None
+            captured = ""
+            if key in inside_reads and escaped.side == "after":
+                # Read both inside and after the closing barrier: the
+                # re-read escapes the version check.
+                kind = DeviationKind.REPEATED_READ
+                action = FixAction.REUSE_VALUE
+                reference = next(
+                    (u for u in r2.uses_on("before")
+                     if u.key == key and u.kind.reads
+                     and u.inlined_from is None),
+                    None,
+                )
+                captured = self._captured(r2, reference) or ""
+                explanation = (
+                    f"{key} is read inside the seqcount-protected region "
+                    f"and re-read after the closing read barrier in "
+                    f"{r2.function}; the re-read escapes the version check."
+                )
+            else:
+                kind = DeviationKind.MISPLACED_ACCESS
+                action = FixAction.MOVE_READ
+                explanation = (
+                    f"{key} is written between the write barriers in "
+                    f"{w1.function} but read outside the region protected "
+                    f"by the read barriers in {r1.function}; the version "
+                    f"check does not cover it."
+                )
+            findings.append(
+                Finding(
+                    kind=kind,
+                    filename=escaped_site(r1, r2, escaped.side).filename,
+                    function=r1.function,
+                    line=escaped.access.line,
+                    explanation=explanation,
+                    fix_action=action,
+                    object_key=key,
+                    barrier=escaped_site(r1, r2, escaped.side),
+                    pairing=pairing,
+                    use=escaped,
+                    reference_use=reference,
+                    details={"move_to": "inside", "captured": captured},
+                )
+            )
+        return findings
+
+    def _captured(self, site: BarrierSite, reference) -> str | None:
+        if self._cfg_lookup is None or reference is None:
+            return None
+        from repro.checkers.reread import captured_variable
+
+        cfg = self._cfg_lookup(site.filename, site.function)
+        return captured_variable(cfg, reference)
+
+    def _protected_keys(
+        self, first: BarrierSite, second: BarrierSite, writes: bool
+    ) -> set[ObjectKey]:
+        """Objects accessed between the two barriers of a duo."""
+        def wanted(use) -> bool:
+            return (use.kind.writes if writes else use.kind.reads) \
+                and use.inlined_from is None
+
+        after_first = {u.key for u in first.uses_on("after") if wanted(u)}
+        before_second = {u.key for u in second.uses_on("before") if wanted(u)}
+        return after_first & before_second
+
+    def _escaped_read(
+        self, r1: BarrierSite, r2: BarrierSite, key: ObjectKey
+    ):
+        """A read of ``key`` outside [r1, r2], preferring post-r2 reads."""
+        for use in r2.uses_on("after"):
+            if use.key == key and use.kind.reads and use.inlined_from is None:
+                return use
+        for use in r1.uses_on("before"):
+            if use.key == key and use.kind.reads and use.inlined_from is None:
+                return use
+        return None
+
+
+def escaped_site(r1: BarrierSite, r2: BarrierSite, side: str) -> BarrierSite:
+    """The barrier whose window contains the escaped read."""
+    return r2 if side == "after" else r1

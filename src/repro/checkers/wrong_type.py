@@ -1,0 +1,67 @@
+"""Deviation #2 — wrong type of barrier (§5.2).
+
+"A read barrier should be replaced by a write barrier when it only orders
+writes. Likewise, a write barrier should be replaced by a read barrier
+when it only orders reads."  Only the pure primitives (``smp_rmb`` /
+``smp_wmb``) can be of the wrong type — full barriers order everything.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.barrier_scan import BarrierSite
+from repro.checkers.model import DeviationKind, Finding, FixAction
+from repro.pairing.model import Pairing
+
+_REPLACEMENTS = {"smp_rmb": "smp_wmb", "smp_wmb": "smp_rmb"}
+
+
+class WrongBarrierTypeChecker:
+    """Flags pure barriers whose ordered common objects are all of the
+    opposite access kind."""
+
+    def check(self, pairings: list[Pairing]) -> list[Finding]:
+        findings: list[Finding] = []
+        for pairing in pairings:
+            for barrier in pairing.barriers:
+                finding = self._check_barrier(pairing, barrier)
+                if finding is not None:
+                    findings.append(finding)
+        return findings
+
+    def _check_barrier(
+        self, pairing: Pairing, barrier: BarrierSite
+    ) -> Finding | None:
+        replacement = _REPLACEMENTS.get(barrier.primitive)
+        if replacement is None:
+            return None
+        relevant = [
+            u for u in barrier.uses
+            if u.key in set(pairing.common_objects) and u.inlined_from is None
+        ]
+        if not relevant:
+            return None
+        all_writes = all(u.kind.writes and not u.kind.reads for u in relevant)
+        all_reads = all(u.kind.reads and not u.kind.writes for u in relevant)
+        if barrier.primitive == "smp_rmb" and all_writes:
+            wrong, correct = "read", "write"
+        elif barrier.primitive == "smp_wmb" and all_reads:
+            wrong, correct = "write", "read"
+        else:
+            return None
+        objects = ", ".join(str(u.key) for u in relevant[:4])
+        explanation = (
+            f"{barrier.primitive} is a {wrong} barrier but only orders "
+            f"{correct}s ({objects}); a {wrong} barrier provides no "
+            f"guarantee on {correct}s. Replace it with {replacement}."
+        )
+        return Finding(
+            kind=DeviationKind.WRONG_BARRIER_TYPE,
+            filename=barrier.filename,
+            function=barrier.function,
+            line=barrier.line,
+            explanation=explanation,
+            fix_action=FixAction.REPLACE_BARRIER,
+            barrier=barrier,
+            pairing=pairing,
+            details={"replacement": replacement},
+        )

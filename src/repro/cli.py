@@ -1,0 +1,179 @@
+"""Command-line interface.
+
+Usage::
+
+    ofence analyze FILE.c [FILE2.c ...]   # analyze real C files
+    ofence corpus [--seed N] [--small]    # generate + analyze the corpus
+    ofence sweep [--small]                # Figure 6 window sweep
+    ofence report [--seed N] [--small]    # full §6 evaluation report
+
+All subcommands print the pairings, findings and patches to stdout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis.barrier_scan import ScanLimits
+from repro.core.engine import AnalysisOptions, KernelSource, OFenceEngine
+from repro.core.report import (
+    EvaluationReport,
+    read_distance_histogram,
+    render_table,
+    sweep_write_window,
+)
+from repro.corpus import CorpusSpec, generate_corpus, score_run
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="ofence",
+        description="Pair memory barriers and check ordering constraints "
+                    "(OFence reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    analyze = sub.add_parser("analyze", help="analyze C source files")
+    analyze.add_argument("files", nargs="+", type=Path)
+    analyze.add_argument("--write-window", type=int, default=5)
+    analyze.add_argument("--read-window", type=int, default=50)
+    analyze.add_argument("--patches", action="store_true",
+                         help="print generated patches")
+
+    corpus = sub.add_parser("corpus", help="generate + analyze the "
+                                           "synthetic kernel corpus")
+    corpus.add_argument("--seed", type=int, default=2023)
+    corpus.add_argument("--small", action="store_true")
+    corpus.add_argument("--write", type=Path, default=None, metavar="DIR",
+                        help="materialize the corpus tree under DIR")
+
+    sweep = sub.add_parser("sweep", help="Figure 6 write-window sweep")
+    sweep.add_argument("--seed", type=int, default=2023)
+    sweep.add_argument("--small", action="store_true")
+
+    report = sub.add_parser("report", help="full evaluation report (§6)")
+    report.add_argument("--seed", type=int, default=2023)
+    report.add_argument("--small", action="store_true")
+
+    json_cmd = sub.add_parser(
+        "json", help="analyze C files and emit a JSON report (for CI)"
+    )
+    json_cmd.add_argument("files", nargs="+", type=Path)
+    json_cmd.add_argument("--diffs", action="store_true",
+                          help="include patch diffs in the JSON")
+
+    litmus = sub.add_parser(
+        "litmus",
+        help="analyze C files and litmus-validate every pairing "
+             "(Figures 2/3 semantics)",
+    )
+    litmus.add_argument("files", nargs="+", type=Path)
+    return parser
+
+
+def _spec(args) -> CorpusSpec:
+    return CorpusSpec.small() if args.small else CorpusSpec.paper()
+
+
+def cmd_analyze(args) -> int:
+    if len(args.files) == 1 and args.files[0].is_dir():
+        source = KernelSource.from_directory(args.files[0])
+    else:
+        files = {str(path): path.read_text() for path in args.files}
+        source = KernelSource(files=files)
+    options = AnalysisOptions(
+        limits=ScanLimits(
+            write_window=args.write_window, read_window=args.read_window
+        )
+    )
+    result = OFenceEngine(source, options).analyze()
+    print(f"{result.total_barriers} barriers, "
+          f"{len(result.pairing.pairings)} pairings\n")
+    for pairing in result.pairing.pairings:
+        print("pairing:", pairing.describe())
+    for finding in result.report.all_findings:
+        print("finding:", finding.describe())
+    if args.patches:
+        for patch in result.patches:
+            print()
+            print(patch.render())
+    return 0
+
+
+def cmd_corpus(args) -> int:
+    corpus = generate_corpus(_spec(args), seed=args.seed)
+    if args.write is not None:
+        count = corpus.source.write_to(args.write)
+        print(f"wrote {count} files under {args.write}")
+    result = OFenceEngine(corpus.source).analyze()
+    score = score_run(result, corpus.truth)
+    print(EvaluationReport(result, score).render())
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    corpus = generate_corpus(_spec(args), seed=args.seed)
+    windows = [1, 2, 3, 5, 8, 10, 15, 20]
+    points = sweep_write_window(corpus.source, windows, corpus.truth)
+    rows = [
+        (f"window={p.write_window}",
+         f"pairings={p.pairings}  incorrect={p.incorrect_pairings}")
+        for p in points
+    ]
+    print(render_table("Figure 6: pairings vs. write window", rows))
+    return 0
+
+
+def cmd_report(args) -> int:
+    corpus = generate_corpus(_spec(args), seed=args.seed)
+    result = OFenceEngine(corpus.source).analyze()
+    score = score_run(result, corpus.truth)
+    print(EvaluationReport(result, score).render())
+    print()
+    print(read_distance_histogram(result).render())
+    return 0
+
+
+def cmd_json(args) -> int:
+    from repro.core.export import result_to_json
+
+    files = {str(path): path.read_text() for path in args.files}
+    result = OFenceEngine(KernelSource(files=files)).analyze()
+    print(result_to_json(result, include_diffs=args.diffs))
+    # Non-zero exit when ordering bugs are found (CI-friendly).
+    return 1 if result.report.ordering_findings else 0
+
+
+def cmd_litmus(args) -> int:
+    from repro.api import analyze_files
+
+    files = {str(path): path.read_text() for path in args.files}
+    analysis = analyze_files(files, annotate=False)
+    if not analysis.pairings:
+        print("no pairings found")
+        return 0
+    bad = 0
+    for summary in analysis.validate():
+        print(summary.describe())
+        if not summary.consistent:
+            bad += 1
+    return 1 if bad else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    handler = {
+        "analyze": cmd_analyze,
+        "corpus": cmd_corpus,
+        "sweep": cmd_sweep,
+        "report": cmd_report,
+        "json": cmd_json,
+        "litmus": cmd_litmus,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

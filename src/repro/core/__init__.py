@@ -1,0 +1,20 @@
+"""The OFence engine: end-to-end pipeline and evaluation reporting."""
+
+from repro.core.engine import (
+    AnalysisOptions,
+    AnalysisResult,
+    FileAnalysis,
+    KernelSource,
+    OFenceEngine,
+)
+from repro.core.report import EvaluationReport, render_table
+
+__all__ = [
+    "AnalysisOptions",
+    "AnalysisResult",
+    "FileAnalysis",
+    "KernelSource",
+    "OFenceEngine",
+    "EvaluationReport",
+    "render_table",
+]

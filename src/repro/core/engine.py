@@ -1,0 +1,374 @@
+"""The OFence analysis pipeline.
+
+``OFenceEngine`` drives the full run (§4):
+
+1. select the files that contain barrier primitives and are enabled by
+   the kernel config (§6.1);
+2. preprocess + parse each file, build CFGs, extract accesses, and scan
+   for barrier sites — optionally in parallel across worker processes;
+3. pair barriers globally (Algorithm 1);
+4. run the §5 checkers and generate patches.
+
+``reanalyze_file`` implements the incremental mode: one file is
+re-scanned and the (cheap) global pairing + checking stages re-run,
+matching the paper's "updating the analysis after modifying a single
+file takes less than 30 seconds".
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import re
+import time
+from dataclasses import dataclass, field
+
+from repro.analysis.barrier_scan import BarrierScanner, BarrierSite, ScanLimits
+from repro.checkers.runner import CheckerSuite, CheckReport
+from repro.cparse.parser import ParseError, parse_source
+from repro.cparse.typesys import TypeRegistry
+from repro.kernel.barriers import BARRIER_PRIMITIVES
+from repro.kernel.config import KernelConfig, default_config
+from repro.patching.generate import Patch, PatchGenerator
+
+#: Regex matching any barrier primitive or seqcount helper call; used for
+#: the cheap "does this file contain barriers?" pre-filter.
+_BARRIER_RE = re.compile(
+    r"\b("
+    + "|".join(sorted(BARRIER_PRIMITIVES))
+    + r"|read_seqcount_begin|read_seqcount_retry"
+    + r"|write_seqcount_begin|write_seqcount_end"
+    + r"|xt_write_recseq_begin|xt_write_recseq_end"
+    + r"|rcu_assign_pointer|rcu_dereference(?:_protected|_check)?"
+    + r")\s*\("
+)
+
+
+@dataclass
+class KernelSource:
+    """The source tree under analysis."""
+
+    files: dict[str, str] = field(default_factory=dict)
+    headers: dict[str, str] = field(default_factory=dict)
+    #: path -> CONFIG_* option guarding compilation of that file.
+    file_options: dict[str, str] = field(default_factory=dict)
+
+    def resolve_include(self, name: str, is_system: bool) -> str | None:
+        return self.headers.get(name)
+
+    def files_with_barriers(self) -> list[str]:
+        return [
+            path for path, text in sorted(self.files.items())
+            if _BARRIER_RE.search(text)
+        ]
+
+    @classmethod
+    def from_directory(cls, root) -> "KernelSource":
+        """Load a source tree from disk.
+
+        ``*.c`` files become analysis inputs; ``*.h`` files are
+        registered as headers under both their basename and their
+        root-relative path, so ``#include "sub/dir.h"`` and
+        ``#include "dir.h"`` both resolve.
+        """
+        from pathlib import Path
+
+        root = Path(root)
+        files: dict[str, str] = {}
+        headers: dict[str, str] = {}
+        for path in sorted(root.rglob("*.c")):
+            files[str(path.relative_to(root))] = path.read_text()
+        for path in sorted(root.rglob("*.h")):
+            text = path.read_text()
+            headers.setdefault(str(path.relative_to(root)), text)
+            headers.setdefault(path.name, text)
+        return cls(files=files, headers=headers)
+
+    def write_to(self, root) -> int:
+        """Materialize the tree under ``root``; returns files written."""
+        from pathlib import Path
+
+        root = Path(root)
+        count = 0
+        for rel, text in self.files.items():
+            target = root / rel
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text(text)
+            count += 1
+        for rel, text in self.headers.items():
+            if "/" in rel:
+                continue  # basenames are aliases; write each once
+            target = root / "include" / rel
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text(text)
+            count += 1
+        return count
+
+
+@dataclass
+class AnalysisOptions:
+    """Tunable parameters of one analysis run."""
+
+    limits: ScanLimits = field(default_factory=ScanLimits)
+    config: KernelConfig = field(default_factory=default_config)
+    annotate: bool = True
+    #: Worker processes for the parse/scan stage (None or 1 = serial).
+    workers: int | None = None
+    #: Checker selection (names from repro.checkers.runner.ALL_CHECKS);
+    #: None = all (minus "annotate" when ``annotate`` is False).
+    checks: frozenset[str] | None = None
+
+
+@dataclass
+class FileAnalysis:
+    """Per-file artifacts cached for incremental re-analysis."""
+
+    filename: str
+    scanner: BarrierScanner | None
+    sites: list[BarrierSite]
+    parse_error: str | None = None
+
+
+@dataclass
+class AnalysisResult:
+    """Everything one run produced."""
+
+    files_with_barriers: int
+    files_analyzed: int
+    files_skipped_by_config: list[str]
+    files_failed: list[str]
+    sites: list[BarrierSite]
+    pairing: "PairingResult"
+    report: CheckReport
+    patches: list[Patch]
+    elapsed_seconds: float
+    stage_seconds: dict[str, float]
+
+    @property
+    def total_barriers(self) -> int:
+        return len(self.sites)
+
+    @property
+    def pairing_coverage(self) -> float:
+        return self.pairing.coverage(self.total_barriers)
+
+
+def _scan_one(
+    args: tuple[str, str, dict[str, str], dict[str, str],
+                tuple[int, int]]
+) -> "FileAnalysis":
+    """Worker: parse + scan one file, returning the full FileAnalysis.
+
+    Scanners, CFGs and AST nodes are plain dataclasses, so the whole
+    per-file artifact pickles back to the parent, which only runs the
+    (cheap) global pairing/checking stages afterwards.
+    """
+    path, text, defines, headers, limits = args
+    try:
+        unit = parse_source(
+            text, path, defines=defines,
+            include_resolver=lambda name, sys_inc: headers.get(name),
+        )
+    except ParseError as exc:
+        return FileAnalysis(
+            filename=path, scanner=None, sites=[], parse_error=str(exc)
+        )
+    registry = TypeRegistry()
+    registry.add_unit(unit)
+    scanner = BarrierScanner(
+        unit, registry=registry,
+        limits=ScanLimits(write_window=limits[0], read_window=limits[1]),
+        filename=path,
+    )
+    sites = scanner.scan()
+    return FileAnalysis(filename=path, scanner=scanner, sites=sites)
+
+
+class OFenceEngine:
+    """Drives the OFence pipeline over a :class:`KernelSource`."""
+
+    def __init__(self, source: KernelSource, options: AnalysisOptions | None = None):
+        self.source = source
+        self.options = options if options is not None else AnalysisOptions()
+        self._file_cache: dict[str, FileAnalysis] = {}
+
+    # -- selection --------------------------------------------------------------
+
+    def selected_files(self) -> tuple[list[str], list[str]]:
+        """(analyzed, skipped-by-config) among files containing barriers."""
+        analyzed: list[str] = []
+        skipped: list[str] = []
+        for path in self.source.files_with_barriers():
+            option = self.source.file_options.get(path)
+            if option is not None and not self.options.config.is_enabled(option):
+                skipped.append(path)
+            else:
+                analyzed.append(path)
+        return analyzed, skipped
+
+    # -- full analysis ---------------------------------------------------------------
+
+    def analyze(self) -> AnalysisResult:
+        start = time.perf_counter()
+        stages: dict[str, float] = {}
+
+        selected, skipped = self.selected_files()
+        total_with_barriers = len(selected) + len(skipped)
+
+        t0 = time.perf_counter()
+        failed = self._scan_files(selected)
+        stages["scan"] = time.perf_counter() - t0
+
+        return self._finish(
+            total_with_barriers, selected, skipped, failed, start, stages
+        )
+
+    def reanalyze_file(self, path: str, new_text: str | None = None) -> AnalysisResult:
+        """Incremental mode: re-scan one file, re-run pairing + checks."""
+        start = time.perf_counter()
+        stages: dict[str, float] = {}
+        if new_text is not None:
+            self.source.files[path] = new_text
+        selected, skipped = self.selected_files()
+        total_with_barriers = len(selected) + len(skipped)
+
+        t0 = time.perf_counter()
+        failed = [
+            f.filename for f in self._file_cache.values()
+            if f.parse_error is not None
+        ]
+        if path in selected:
+            error = self._scan_single(path)
+            if error is not None and path not in failed:
+                failed.append(path)
+        else:
+            self._file_cache.pop(path, None)
+        stages["scan"] = time.perf_counter() - t0
+        return self._finish(
+            total_with_barriers, selected, skipped, failed, start, stages
+        )
+
+    # -- shared pipeline tail ------------------------------------------------------------
+
+    def _finish(
+        self,
+        total_with_barriers: int,
+        selected: list[str],
+        skipped: list[str],
+        failed: list[str],
+        start: float,
+        stages: dict[str, float],
+    ) -> AnalysisResult:
+        from repro.pairing.algorithm import PairingEngine
+
+        sites: list[BarrierSite] = []
+        for path in selected:
+            cached = self._file_cache.get(path)
+            if cached is not None:
+                sites.extend(cached.sites)
+
+        t0 = time.perf_counter()
+        pairing = PairingEngine(sites).pair()
+        stages["pair"] = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        suite = CheckerSuite(
+            self._cfg_lookup,
+            annotate=self.options.annotate,
+            checks=self.options.checks,
+        )
+        report = suite.run(pairing)
+        stages["check"] = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        generator = PatchGenerator(self.source.files, self._cfg_lookup)
+        patches = generator.generate_all(report.all_findings)
+        stages["patch"] = time.perf_counter() - t0
+
+        return AnalysisResult(
+            files_with_barriers=total_with_barriers,
+            files_analyzed=len(selected),
+            files_skipped_by_config=skipped,
+            files_failed=failed,
+            sites=sites,
+            pairing=pairing,
+            report=report,
+            patches=patches,
+            elapsed_seconds=time.perf_counter() - start,
+            stage_seconds=stages,
+        )
+
+    # -- scanning -----------------------------------------------------------------------
+
+    def _scan_files(self, selected: list[str]) -> list[str]:
+        workers = self.options.workers
+        if workers is not None and workers > 1:
+            return self._parallel_scan(selected, workers)
+        failed: list[str] = []
+        for path in selected:
+            error = self._scan_single(path)
+            if error is not None:
+                failed.append(path)
+        return failed
+
+    def _parallel_scan(self, selected: list[str], workers: int) -> list[str]:
+        """Fan the per-file parse+scan across worker processes.
+
+        Each worker returns a complete :class:`FileAnalysis` (everything
+        involved is plain dataclasses, so it pickles); the parent keeps
+        only the global stages.  Worth it for trees of large files; on
+        the synthetic corpus (many tiny files) pickling can outweigh the
+        parse win, which is why serial remains the default.
+        """
+        defines = self.options.config.defines()
+        jobs = [
+            (
+                path, self.source.files[path], defines, self.source.headers,
+                (self.options.limits.write_window,
+                 self.options.limits.read_window),
+            )
+            for path in selected
+        ]
+        failed: list[str] = []
+        with multiprocessing.Pool(workers) as pool:
+            for analysis in pool.map(_scan_one, jobs, chunksize=8):
+                self._file_cache[analysis.filename] = analysis
+                if analysis.parse_error is not None:
+                    failed.append(analysis.filename)
+        return failed
+
+    def _scan_single(self, path: str) -> str | None:
+        text = self.source.files[path]
+        try:
+            unit = parse_source(
+                text,
+                path,
+                defines=self.options.config.defines(),
+                include_resolver=self.source.resolve_include,
+            )
+        except ParseError as exc:
+            self._file_cache[path] = FileAnalysis(
+                filename=path, scanner=None, sites=[], parse_error=str(exc)
+            )
+            return str(exc)
+        registry = TypeRegistry()
+        registry.add_unit(unit)
+        scanner = BarrierScanner(
+            unit, registry=registry, limits=self.options.limits, filename=path
+        )
+        sites = scanner.scan()
+        self._file_cache[path] = FileAnalysis(
+            filename=path, scanner=scanner, sites=sites
+        )
+        return None
+
+    # -- lookups -------------------------------------------------------------------------
+
+    def _cfg_lookup(self, filename: str, function: str):
+        cached = self._file_cache.get(filename)
+        if cached is None or cached.scanner is None:
+            return None
+        scan = cached.scanner.function_scan(function)
+        return scan.cfg if scan is not None else None
+
+    def file_analysis(self, path: str) -> FileAnalysis | None:
+        return self._file_cache.get(path)

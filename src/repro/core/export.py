@@ -1,0 +1,118 @@
+"""Machine-readable export of analysis results.
+
+``result_to_dict`` renders an :class:`~repro.core.engine.AnalysisResult`
+as plain JSON-serializable data — pairings, findings, patches, stats —
+so the tool can run in CI pipelines ("sufficiently efficient to become
+part of the standard kernel development toolchain", §6.1).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.analysis.barrier_scan import BarrierSite
+from repro.checkers.model import Finding
+from repro.core.engine import AnalysisResult
+from repro.pairing.model import Pairing
+from repro.patching.generate import Patch
+
+
+def site_to_dict(site: BarrierSite) -> dict[str, Any]:
+    return {
+        "id": site.barrier_id,
+        "file": site.filename,
+        "function": site.function,
+        "line": site.line,
+        "primitive": site.primitive,
+        "kind": site.kind.value,
+        "objects": sorted(
+            {str(use.key) for use in site.uses}
+        ),
+    }
+
+
+def pairing_to_dict(pairing: Pairing) -> dict[str, Any]:
+    return {
+        "barriers": [site_to_dict(b) for b in pairing.barriers],
+        "common_objects": [str(k) for k in pairing.common_objects],
+        "weight": pairing.weight,
+        "multi": pairing.is_multi,
+        "functions": [
+            {"file": f, "function": fn} for f, fn in pairing.functions
+        ],
+    }
+
+
+def finding_to_dict(finding: Finding) -> dict[str, Any]:
+    return {
+        "id": finding.finding_id,
+        "kind": finding.kind.value,
+        "file": finding.filename,
+        "function": finding.function,
+        "line": finding.line,
+        "object": str(finding.object_key) if finding.object_key else None,
+        "fix": finding.fix_action.value,
+        "explanation": finding.explanation,
+    }
+
+
+def patch_to_dict(patch: Patch, include_diff: bool = True) -> dict[str, Any]:
+    out: dict[str, Any] = {
+        "finding": patch.finding.finding_id,
+        "file": patch.filename,
+        "applied": patch.applied,
+    }
+    if include_diff:
+        out["header"] = patch.header
+        out["diff"] = patch.diff
+    return out
+
+
+def result_to_dict(
+    result: AnalysisResult, include_diffs: bool = False
+) -> dict[str, Any]:
+    """Full result as JSON-serializable data."""
+    report = result.report
+    return {
+        "stats": {
+            "files_with_barriers": result.files_with_barriers,
+            "files_analyzed": result.files_analyzed,
+            "files_skipped_by_config": len(result.files_skipped_by_config),
+            "files_failed": result.files_failed,
+            "barriers": result.total_barriers,
+            "pairings": len(result.pairing.pairings),
+            "multi_pairings": sum(
+                1 for p in result.pairing.pairings if p.is_multi
+            ),
+            "coverage": result.pairing_coverage,
+            "unpaired": len(result.pairing.unpaired),
+            "implicit_ipc": len(result.pairing.implicit_ipc),
+            "elapsed_seconds": result.elapsed_seconds,
+            "stage_seconds": dict(result.stage_seconds),
+        },
+        "table3": report.table3_breakdown(),
+        "pairings": [pairing_to_dict(p) for p in result.pairing.pairings],
+        "findings": {
+            "ordering": [
+                finding_to_dict(f) for f in report.ordering_findings
+            ],
+            "unneeded": [
+                finding_to_dict(f) for f in report.unneeded_findings
+            ],
+            "annotations": [
+                finding_to_dict(f) for f in report.annotation_findings
+            ],
+        },
+        "patches": [
+            patch_to_dict(p, include_diffs) for p in result.patches
+        ],
+    }
+
+
+def result_to_json(
+    result: AnalysisResult, include_diffs: bool = False, indent: int = 2
+) -> str:
+    return json.dumps(
+        result_to_dict(result, include_diffs), indent=indent, sort_keys=True
+    )

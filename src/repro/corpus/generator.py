@@ -1,0 +1,478 @@
+"""Deterministic synthetic-kernel generation.
+
+``generate_corpus(spec, seed)`` produces a :class:`Corpus`: a
+:class:`~repro.core.engine.KernelSource` (files + headers + per-file
+CONFIG options) and the matching
+:class:`~repro.corpus.groundtruth.CorpusGroundTruth`.
+
+The default :meth:`CorpusSpec.paper` profile reproduces the paper's
+scale: 669 files containing barriers of which 614 compile under the
+default config, ~456 pairings at the default windows, 12 injected bugs in
+Table 3's proportions, 12 expected false-positive patches (Listing 4
+patterns), 15 incorrect pairings via generic types, and 53 unneeded
+barriers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from dataclasses import dataclass, field
+
+from repro.core.engine import KernelSource
+from repro.corpus import templates
+from repro.corpus.groundtruth import CorpusGroundTruth
+from repro.kernel.config import SUBSYSTEM_OPTIONS
+
+
+@dataclass
+class CorpusSpec:
+    """Pattern counts for one corpus."""
+
+    correct_pairs: int = 292
+    #: RCU publication pairs (rcu_assign_pointer / rcu_dereference).
+    rcu_pairs: int = 20
+    #: Correct pairs accompanied by a far decoy reader over the same
+    #: struct: the distance weighting picks the intended reader.
+    decoy_reader_groups: int = 30
+    #: Function pairs sharing objects on the same side of their
+    #: barriers: rejected by the ordering requirement.
+    unordered_noise_pairs: int = 20
+    #: §7 advisory material: correct pair + barrier-less hot path +
+    #: init-in-isolation function.
+    missing_barrier_groups: int = 6
+    #: Listing 1 via smp_store_release / smp_load_acquire.
+    acqrel_pairs: int = 25
+    #: Listing 1 via full smp_mb barriers.
+    fullmb_pairs: int = 20
+    #: Flag carried by an atomic + smp_mb__before/after_atomic.
+    atomic_modifier_pairs: int = 15
+    #: Listing 3 via the seqcount helper interface.
+    seqcount_helper_groups: int = 5
+    cross_file_fraction: float = 0.3
+    #: Fraction of correct pairs whose write barrier carries a pairing
+    #: comment (§8: "less than 20% of the barriers ... are commented").
+    comment_fraction: float = 0.15
+    #: Correct pairs whose writer objects sit beyond the default window
+    #: (only paired in the Figure 6 sweep at larger windows).
+    far_writer_pairs: int = 15
+    misplaced_bugs: int = 8
+    reread_cross_bugs: int = 1
+    reread_guard_bugs: int = 1
+    seqcount_bugs: int = 1
+    wrong_type_bugs: int = 1
+    seqcount_correct: int = 4
+    bnx2x_fps: int = 12
+    generic_pairs: int = 15
+    unneeded_wakeup: int = 40
+    unneeded_double: int = 8
+    unneeded_atomic: int = 5
+    ipc_patterns: int = 80
+    solitary: int = 700
+    sweep_noise_families: int = 8
+    sweep_noise_per_family: int = 5
+    analyzed_files: int = 614
+    gated_files: int = 55
+    noise_files: int = 80
+
+    @classmethod
+    def paper(cls) -> "CorpusSpec":
+        """Full paper-scale corpus (Linux 5.11 shape)."""
+        return cls()
+
+    @classmethod
+    def small(cls) -> "CorpusSpec":
+        """~20x smaller profile for unit tests."""
+        return cls(
+            correct_pairs=20,
+            rcu_pairs=2,
+            decoy_reader_groups=2,
+            unordered_noise_pairs=2,
+            missing_barrier_groups=1,
+            acqrel_pairs=2,
+            fullmb_pairs=2,
+            atomic_modifier_pairs=2,
+            seqcount_helper_groups=1,
+            far_writer_pairs=2,
+            misplaced_bugs=2,
+            reread_cross_bugs=1,
+            reread_guard_bugs=1,
+            seqcount_bugs=1,
+            wrong_type_bugs=1,
+            seqcount_correct=2,
+            bnx2x_fps=2,
+            generic_pairs=3,
+            unneeded_wakeup=3,
+            unneeded_double=1,
+            unneeded_atomic=1,
+            ipc_patterns=4,
+            solitary=30,
+            sweep_noise_families=2,
+            sweep_noise_per_family=2,
+            analyzed_files=40,
+            gated_files=4,
+            noise_files=5,
+        )
+
+    @property
+    def total_bugs(self) -> int:
+        return (
+            self.misplaced_bugs + self.reread_cross_bugs
+            + self.reread_guard_bugs + self.seqcount_bugs
+            + self.wrong_type_bugs
+        )
+
+
+@dataclass
+class Corpus:
+    """A generated synthetic kernel plus its ground truth."""
+
+    source: KernelSource
+    truth: CorpusGroundTruth
+    spec: CorpusSpec
+    seed: int
+
+
+#: Subsystems receiving analyzed files (config-enabled by default).
+_ANALYZED_SUBSYSTEMS = [
+    s for s in SUBSYSTEM_OPTIONS
+    if s not in ("drivers/exotic", "arch/alpha", "arch/ia64")
+]
+_GATED_SUBSYSTEMS = ["drivers/exotic", "arch/alpha", "arch/ia64"]
+
+
+def generate_corpus(
+    spec: CorpusSpec | None = None, seed: int = 2023
+) -> Corpus:
+    """Generate the synthetic kernel deterministically from ``seed``."""
+    spec = spec if spec is not None else CorpusSpec.paper()
+    rng = random.Random(seed)
+    builder = _CorpusBuilder(spec, rng)
+    return builder.build(seed)
+
+
+class _CorpusBuilder:
+    def __init__(self, spec: CorpusSpec, rng: random.Random):
+        self.spec = spec
+        self.rng = rng
+        self.truth = CorpusGroundTruth()
+        #: file path -> accumulated code chunks
+        self.file_chunks: dict[str, list[str]] = {}
+        self.file_options: dict[str, str] = {}
+        self.headers: dict[str, str] = {}
+        self._analyzed_paths: list[str] = []
+        self._slot_cursor = 0
+        self._uid_counter = 0
+
+    # -- top level -------------------------------------------------------------
+
+    def build(self, seed: int) -> Corpus:
+        self._create_file_slots()
+        self._write_kernel_types_header()
+        self._emit_patterns()
+        self._emit_gated_files()
+        self._emit_noise_files()
+        files = {
+            path: self._render_file(path, chunks)
+            for path, chunks in self.file_chunks.items()
+        }
+        source = KernelSource(
+            files=files, headers=self.headers, file_options=self.file_options
+        )
+        return Corpus(source=source, truth=self.truth, spec=self.spec,
+                      seed=seed)
+
+    # -- file slots -------------------------------------------------------------
+
+    def _create_file_slots(self) -> None:
+        for i in range(self.spec.analyzed_files):
+            subsys = _ANALYZED_SUBSYSTEMS[i % len(_ANALYZED_SUBSYSTEMS)]
+            path = f"{subsys}/{subsys.split('/')[-1]}_{i:04d}.c"
+            self.file_chunks[path] = []
+            self.file_options[path] = SUBSYSTEM_OPTIONS[subsys]
+            self._analyzed_paths.append(path)
+
+    def _next_slot(self) -> str:
+        path = self._analyzed_paths[
+            self._slot_cursor % len(self._analyzed_paths)
+        ]
+        self._slot_cursor += 1
+        return path
+
+    def _uid(self, prefix: str) -> str:
+        self._uid_counter += 1
+        return f"{prefix}{self._uid_counter:04d}"
+
+    # -- headers ----------------------------------------------------------------
+
+    def _write_kernel_types_header(self) -> None:
+        lines = ["/* Generic kernel container types. */"]
+        for struct, f1, f2 in templates.GENERIC_TYPES:
+            lines += [
+                f"struct {struct} {{",
+                f"\tstruct {struct} *{f1};",
+                f"\tstruct {struct} *{f2};",
+                "};",
+            ]
+        self.headers["kernel_types.h"] = "\n".join(lines) + "\n"
+
+    def _subsystem_header_name(self, path: str) -> str:
+        subsys = path.rsplit("/", 1)[0].replace("/", "_")
+        return f"{subsys}.h"
+
+    def _add_to_subsystem_header(self, path: str, code: str) -> str:
+        name = self._subsystem_header_name(path)
+        self.headers[name] = self.headers.get(name, "") + code
+        return name
+
+    # -- pattern emission ----------------------------------------------------------
+
+    def _register(self, pattern: templates.PatternCode, paths: list[str]) -> None:
+        """Record ground truth for a placed pattern."""
+        primary = paths[0]
+        for bug in pattern.bugs:
+            self.truth.bugs.append(
+                dataclasses.replace(bug, filename=self._bug_file(bug, pattern,
+                                                                 paths))
+            )
+        for fp in pattern.fps:
+            self.truth.false_positives.append(
+                dataclasses.replace(fp, filename=self._fp_file(fp, pattern,
+                                                               paths))
+            )
+        if pattern.is_generic:
+            for index, fn in enumerate(pattern.functions):
+                sub_id = f"{pattern.pattern_id}#{index}"
+                self.truth.function_pattern[fn] = sub_id
+                self.truth.generic_patterns.add(sub_id)
+        else:
+            for fn in pattern.functions:
+                self.truth.function_pattern[fn] = pattern.pattern_id
+        self.truth.expected_unneeded += pattern.unneeded
+
+    def _bug_file(self, bug, pattern: templates.PatternCode,
+                  paths: list[str]) -> str:
+        """Bugs live in the chunk containing their function."""
+        for chunk, path in zip(pattern.chunks, paths):
+            if bug.function in chunk:
+                return path
+        return paths[0]
+
+    def _fp_file(self, fp, pattern: templates.PatternCode,
+                 paths: list[str]) -> str:
+        for chunk, path in zip(pattern.chunks, paths):
+            if fp.function in chunk:
+                return path
+        return paths[0]
+
+    def _place(self, pattern: templates.PatternCode,
+               include_types: bool = False) -> list[str]:
+        """Place a pattern's chunks into file slots; returns the paths."""
+        paths: list[str] = []
+        if len(pattern.chunks) == 1:
+            path = self._next_slot()
+            if include_types:
+                self._ensure_include(path, "kernel_types.h")
+            self.file_chunks[path].append(pattern.chunks[0])
+            paths = [path]
+        else:
+            # Cross-file: chunks in distinct files of the same subsystem;
+            # the shared struct goes into the subsystem header.
+            first = self._next_slot()
+            subsys = first.rsplit("/", 1)[0]
+            second = self._next_slot()
+            guard = 0
+            while second.rsplit("/", 1)[0] != subsys or second == first:
+                second = self._next_slot()
+                guard += 1
+                if guard > 2 * len(self._analyzed_paths):
+                    second = first
+                    break
+            if pattern.header_code:
+                header = self._add_to_subsystem_header(
+                    first, pattern.header_code
+                )
+                self._ensure_include(first, header)
+                self._ensure_include(second, header)
+            if include_types:
+                self._ensure_include(first, "kernel_types.h")
+                self._ensure_include(second, "kernel_types.h")
+            self.file_chunks[first].append(pattern.chunks[0])
+            self.file_chunks[second].append(pattern.chunks[1])
+            paths = [first, second]
+        self._register(pattern, paths)
+        return paths
+
+    def _ensure_include(self, path: str, header: str) -> None:
+        directive = f'#include "{header}"\n'
+        chunks = self.file_chunks[path]
+        if directive not in chunks[:2]:
+            chunks.insert(0, directive)
+
+    def _emit_patterns(self) -> None:
+        spec, rng = self.spec, self.rng
+
+        for _ in range(spec.correct_pairs):
+            cross = rng.random() < spec.cross_file_fraction
+            pattern = templates.correct_pair(
+                self._uid("cp"), rng,
+                writer_pad=self._writer_pad(rng),
+                reader_flag_pad=rng.randint(0, 2),
+                reader_payload_pad=self._reader_pad(rng),
+                cross_file=cross,
+                commented=rng.random() < spec.comment_fraction,
+            )
+            self._place(pattern)
+            self.truth.expected_correct_pairs += 1
+
+        for _ in range(spec.rcu_pairs):
+            self._place(templates.rcu_pair(self._uid("rc"), rng))
+            self.truth.expected_correct_pairs += 1
+
+        for _ in range(spec.decoy_reader_groups):
+            # The decoy is placed *first* so a first-candidate (no
+            # weighting) strategy encounters it before the real reader.
+            pair, decoy = templates.decoy_reader_group(self._uid("dr"), rng)
+            self._place(decoy)
+            self._place(pair)
+            self.truth.expected_correct_pairs += 1
+
+        for _ in range(spec.unordered_noise_pairs):
+            noise_a, noise_b = templates.unordered_noise_pair(
+                self._uid("un"), rng
+            )
+            self._place(noise_a)
+            self._place(noise_b)
+
+        for _ in range(spec.missing_barrier_groups):
+            pattern = templates.missing_barrier_group(self._uid("mb"), rng)
+            (path,) = self._place(pattern)
+            self.truth.expected_correct_pairs += 1
+            self.truth.missing_barrier_real.append(
+                (path, f"{pattern.pattern_id}_hot_update")
+            )
+            self.truth.missing_barrier_init_fps.append(
+                (path, f"{pattern.pattern_id}_init")
+            )
+
+        for _ in range(spec.acqrel_pairs):
+            self._place(templates.correct_pair_acqrel(self._uid("ar"), rng))
+            self.truth.expected_correct_pairs += 1
+        for _ in range(spec.fullmb_pairs):
+            self._place(templates.correct_pair_fullmb(self._uid("fm"), rng))
+            self.truth.expected_correct_pairs += 1
+        for _ in range(spec.atomic_modifier_pairs):
+            self._place(
+                templates.correct_pair_atomic_modifier(self._uid("am"), rng)
+            )
+            self.truth.expected_correct_pairs += 1
+        for _ in range(spec.seqcount_helper_groups):
+            self._place(
+                templates.seqcount_helper_group(self._uid("sh"), rng)
+            )
+            self.truth.expected_correct_pairs += 1
+
+        for _ in range(spec.far_writer_pairs):
+            pattern = templates.correct_pair(
+                self._uid("fw"), rng,
+                writer_pad=rng.randint(5, 9),  # beyond the default window
+                reader_payload_pad=self._reader_pad(rng),
+            )
+            self._place(pattern)
+
+        for _ in range(spec.misplaced_bugs):
+            self._place(templates.misplaced_pair(self._uid("mp"), rng))
+        for _ in range(spec.reread_cross_bugs):
+            self._place(templates.reread_cross_pair(self._uid("rr"), rng))
+        for _ in range(spec.reread_guard_bugs):
+            self._place(templates.reread_guard_pair(self._uid("rg"), rng))
+        for _ in range(spec.wrong_type_bugs):
+            self._place(templates.wrong_type_group(self._uid("wt"), rng))
+        for _ in range(spec.seqcount_correct):
+            self._place(templates.seqcount_group(self._uid("sq"), rng))
+        for _ in range(spec.seqcount_bugs):
+            self._place(templates.seqcount_bug_group(self._uid("sb"), rng))
+        for _ in range(spec.bnx2x_fps):
+            self._place(templates.bnx2x_fp_pair(self._uid("bx"), rng))
+
+        for index in range(spec.generic_pairs):
+            pattern = templates.generic_type_pair(
+                self._uid("gt"), rng, type_index=index
+            )
+            self._place(pattern, include_types=True)
+
+        for _ in range(spec.unneeded_wakeup):
+            self._place(templates.unneeded_wakeup(self._uid("uw"), rng))
+        for _ in range(spec.unneeded_double):
+            self._place(templates.unneeded_double_barrier(self._uid("ud"), rng))
+        for _ in range(spec.unneeded_atomic):
+            self._place(templates.unneeded_atomic(self._uid("ua"), rng))
+        for _ in range(spec.ipc_patterns):
+            self._place(templates.ipc_pattern(self._uid("ip"), rng))
+        for _ in range(spec.solitary):
+            self._place(templates.solitary_pattern(self._uid("so"), rng))
+
+        for family in range(spec.sweep_noise_families):
+            for _ in range(spec.sweep_noise_per_family):
+                pattern = templates.sweep_noise_pattern(
+                    self._uid("sw"), rng, family
+                )
+                self._place(pattern)
+
+    def _writer_pad(self, rng: random.Random) -> int:
+        """Figure 6 shape: payload mostly within 5 statements."""
+        roll = rng.random()
+        if roll < 0.55:
+            return 0
+        if roll < 0.80:
+            return 1
+        if roll < 0.92:
+            return 2
+        return 3
+
+    def _reader_pad(self, rng: random.Random) -> int:
+        """Figure 7 shape: reads spread out with a long tail to ~50."""
+        roll = rng.random()
+        if roll < 0.60:
+            return rng.randint(0, 4)
+        if roll < 0.90:
+            return rng.randint(5, 19)
+        return rng.randint(20, 44)
+
+    # -- gated and noise files ----------------------------------------------------------
+
+    def _emit_gated_files(self) -> None:
+        for i in range(self.spec.gated_files):
+            subsys = _GATED_SUBSYSTEMS[i % len(_GATED_SUBSYSTEMS)]
+            path = f"{subsys}/{subsys.split('/')[-1]}_{i:04d}.c"
+            pattern = templates.correct_pair(self._uid("gx"), self.rng)
+            self.file_chunks[path] = [pattern.chunks[0]]
+            self.file_options[path] = SUBSYSTEM_OPTIONS[subsys]
+            # No ground-truth registration: these files are never analyzed.
+
+    def _emit_noise_files(self) -> None:
+        for i in range(self.spec.noise_files):
+            subsys = _ANALYZED_SUBSYSTEMS[i % len(_ANALYZED_SUBSYSTEMS)]
+            path = f"{subsys}/util_{i:04d}.c"
+            chunks = [
+                templates.noise_functions(self._uid("nz"), self.rng)
+                for _ in range(self.rng.randint(1, 3))
+            ]
+            self.file_chunks[path] = chunks
+            self.file_options[path] = SUBSYSTEM_OPTIONS[subsys]
+
+    # -- rendering -----------------------------------------------------------------------
+
+    def _render_file(self, path: str, chunks: list[str]) -> str:
+        banner = f"/* Synthetic kernel file {path} (generated). */\n"
+        body: list[str] = [banner]
+        for chunk in chunks:
+            body.append(chunk)
+        # Occasionally exercise the preprocessor with a disabled block.
+        if self.rng.random() < 0.10:
+            body.append(
+                "#ifdef CONFIG_EXOTIC_HW\n"
+                "static void exotic_only(void)\n{\n\tcpu_relax();\n}\n"
+                "#endif\n"
+            )
+        return "\n".join(body)

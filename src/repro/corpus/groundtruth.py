@@ -1,0 +1,181 @@
+"""Ground truth for the synthetic corpus and run scoring.
+
+Each injected bug records the Table 3 bucket it must be detected as; each
+expected false positive records a pattern (like Listing 4's bnx2x code)
+that OFence flags by design.  :func:`score_run` matches an analysis
+result against the ground truth, producing detection/false-positive
+statistics comparable to §6.2/§6.4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.checkers.model import DeviationKind, Finding
+
+#: Map of injected-bug kinds to the DeviationKind a detection must carry.
+BUG_KIND_TO_DEVIATION: dict[str, DeviationKind] = {
+    "misplaced": DeviationKind.MISPLACED_ACCESS,
+    "seqcount-misplaced": DeviationKind.MISPLACED_ACCESS,
+    "reread": DeviationKind.REPEATED_READ,
+    "wrong-type": DeviationKind.WRONG_BARRIER_TYPE,
+    "unneeded": DeviationKind.UNNEEDED_BARRIER,
+}
+
+
+@dataclass(frozen=True)
+class InjectedBug:
+    """One deliberately injected deviation."""
+
+    bug_id: str
+    kind: str  # key of BUG_KIND_TO_DEVIATION
+    filename: str
+    function: str
+    field_name: str | None = None
+
+    def matches(self, finding: Finding) -> bool:
+        if finding.kind is not BUG_KIND_TO_DEVIATION[self.kind]:
+            return False
+        if finding.filename != self.filename:
+            return False
+        if finding.function != self.function:
+            return False
+        if self.field_name is not None and finding.object_key is not None:
+            return finding.object_key.field == self.field_name
+        return True
+
+
+@dataclass(frozen=True)
+class ExpectedFalsePositive:
+    """A pattern OFence flags although the code is correct (Listing 4)."""
+
+    fp_id: str
+    filename: str
+    function: str
+    reason: str
+
+    def matches(self, finding: Finding) -> bool:
+        return (
+            finding.filename == self.filename
+            and finding.function == self.function
+        )
+
+
+@dataclass
+class CorpusGroundTruth:
+    """Everything the generator injected, for scoring."""
+
+    bugs: list[InjectedBug] = field(default_factory=list)
+    false_positives: list[ExpectedFalsePositive] = field(default_factory=list)
+    #: function name -> pattern instance id (for incorrect-pairing scoring).
+    function_pattern: dict[str, str] = field(default_factory=dict)
+    #: pattern ids whose cross-pattern pairing is *expected* (generic types).
+    generic_patterns: set[str] = field(default_factory=set)
+    expected_unneeded: int = 0
+    expected_correct_pairs: int = 0
+    #: (file, function) of genuine missing-barrier writers (§7 advisory).
+    missing_barrier_real: list[tuple[str, str]] = field(default_factory=list)
+    #: (file, function) of init-in-isolation functions — the advisory's
+    #: expected false positives.
+    missing_barrier_init_fps: list[tuple[str, str]] = field(
+        default_factory=list
+    )
+
+    def bug_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for bug in self.bugs:
+            counts[bug.kind] = counts.get(bug.kind, 0) + 1
+        return counts
+
+
+@dataclass
+class RunScore:
+    """Detection statistics of one analysis run vs. the ground truth."""
+
+    detected_bugs: list[InjectedBug] = field(default_factory=list)
+    missed_bugs: list[InjectedBug] = field(default_factory=list)
+    expected_fp_findings: list[Finding] = field(default_factory=list)
+    unexpected_findings: list[Finding] = field(default_factory=list)
+    unneeded_found: int = 0
+    correct_pairings: int = 0
+    incorrect_pairings: int = 0
+
+    @property
+    def recall(self) -> float:
+        total = len(self.detected_bugs) + len(self.missed_bugs)
+        return len(self.detected_bugs) / total if total else 1.0
+
+    @property
+    def patch_false_positive_ratio(self) -> float:
+        """§6.4: incorrect ordering patches / all ordering patches.
+
+        The paper reports 12 incorrect patches against 12 fixed bugs
+        (50 %); unneeded-barrier removals are counted separately (§6.3).
+        """
+        fps = len(self.expected_fp_findings) + len(self.unexpected_findings)
+        correct = sum(
+            1 for bug in self.detected_bugs if bug.kind != "unneeded"
+        )
+        total = fps + correct
+        return fps / total if total else 0.0
+
+    def detected_table3(self) -> dict[str, int]:
+        """Ground-truth-confirmed bug counts per Table 3 bucket."""
+        buckets = {
+            "misplaced": "Misplaced memory access",
+            "seqcount-misplaced": "Misplaced memory access",
+            "reread": "Racy variable re-read after the read barrier",
+            "wrong-type": "Read barrier used instead of a write barrier",
+        }
+        counts = {name: 0 for name in dict.fromkeys(buckets.values())}
+        for bug in self.detected_bugs:
+            bucket = buckets.get(bug.kind)
+            if bucket is not None:
+                counts[bucket] += 1
+        return counts
+
+
+def score_run(result, truth: CorpusGroundTruth) -> RunScore:
+    """Match an :class:`~repro.core.engine.AnalysisResult` to the truth."""
+    score = RunScore()
+
+    remaining = list(truth.bugs)
+    ordering = list(result.report.ordering_findings)
+    unneeded = list(result.report.unneeded_findings)
+
+    for finding in ordering + unneeded:
+        matched_bug = next(
+            (bug for bug in remaining if bug.matches(finding)), None
+        )
+        if matched_bug is not None:
+            remaining.remove(matched_bug)
+            score.detected_bugs.append(matched_bug)
+            continue
+        if finding.kind is DeviationKind.UNNEEDED_BARRIER:
+            continue  # counted separately below
+        matched_fp = next(
+            (fp for fp in truth.false_positives if fp.matches(finding)), None
+        )
+        if matched_fp is not None:
+            score.expected_fp_findings.append(finding)
+        else:
+            score.unexpected_findings.append(finding)
+    score.missed_bugs = remaining
+    score.unneeded_found = len(unneeded)
+
+    for pairing in result.pairing.pairings:
+        patterns = {
+            truth.function_pattern.get(fn, f"?{fn}")
+            for _, fn in pairing.functions
+        }
+        if len(patterns) <= 1 or patterns <= truth.generic_patterns:
+            # Same pattern — or entirely within the generic-type pool,
+            # which by construction pairs unrelated functions.
+            if patterns and patterns <= truth.generic_patterns and \
+                    len(patterns) > 1:
+                score.incorrect_pairings += 1
+            else:
+                score.correct_pairings += 1
+        else:
+            score.incorrect_pairings += 1
+    return score

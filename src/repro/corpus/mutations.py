@@ -1,0 +1,230 @@
+"""Mutation operators for detector-sensitivity analysis.
+
+Hand-built bug templates show the detector finds the paper's bugs; the
+mutation harness asks the converse question — *if correct barrier code
+regresses in a plausible way, does some layer of the tool react?*  Each
+operator applies one small, kernel-refactoring-shaped change to a
+correct scenario; the harness classifies the tool's reaction:
+
+* ``FINDING`` — a §5 checker reports it;
+* ``ADVISORY`` — the §7 missing-barrier advisor flags it;
+* ``PAIRING_LOST`` — the pairing disappears (visible in review/CI as a
+  coverage regression, the weakest signal);
+* ``SILENT`` — nothing reacts (a detector blind spot).
+
+The paper's own §6.2 observation motivates this: "most bugs were
+introduced when refactoring the code or adding new functionalities".
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable
+
+#: The redundant correct scenario every mutation starts from: two
+#: writers publishing through the same protocol plus one reader, so a
+#: mutation that destroys one writer's pairing leaves evidence behind.
+BASE_SCENARIO = """\
+struct mbox { int ready; int payload_a; int payload_b; };
+
+void fill_mbox(struct mbox *m)
+{
+\tm->payload_a = 1;
+\tm->payload_b = 2;
+\tsmp_wmb();
+\tm->ready = 1;
+}
+
+void refill_mbox(struct mbox *m)
+{
+\tm->payload_a = 3;
+\tm->payload_b = 4;
+\tsmp_wmb();
+\tm->ready = 1;
+}
+
+int drain_mbox(struct mbox *m)
+{
+\tif (!m->ready)
+\t\treturn 0;
+\tsmp_rmb();
+\tconsume(m->payload_a);
+\tconsume(m->payload_b);
+\treturn 1;
+}
+"""
+
+
+class Reaction(enum.Enum):
+    FINDING = "finding"
+    ADVISORY = "advisory"
+    PAIRING_LOST = "pairing-lost"
+    SILENT = "silent"
+
+
+@dataclass(frozen=True)
+class Mutation:
+    """One refactoring-shaped regression."""
+
+    name: str
+    description: str
+    apply: Callable[[str], str]
+    #: The reaction the detector is expected to produce.
+    expected: Reaction
+
+
+def _replace(old: str, new: str) -> Callable[[str], str]:
+    def _apply(source: str) -> str:
+        assert old in source, f"mutation anchor missing: {old!r}"
+        return source.replace(old, new, 1)
+
+    return _apply
+
+
+MUTATIONS: list[Mutation] = [
+    Mutation(
+        name="reader-guard-after-barrier",
+        description="move the reader's flag check past smp_rmb "
+                    "(Patch 1 regression)",
+        apply=_replace(
+            "\tif (!m->ready)\n\t\treturn 0;\n\tsmp_rmb();",
+            "\tsmp_rmb();\n\tif (!m->ready)\n\t\treturn 0;",
+        ),
+        expected=Reaction.FINDING,
+    ),
+    Mutation(
+        name="writer-flag-before-barrier",
+        description="set the flag before smp_wmb in one writer",
+        apply=_replace(
+            "\tm->payload_b = 2;\n\tsmp_wmb();\n\tm->ready = 1;",
+            "\tm->payload_b = 2;\n\tm->ready = 1;\n\tsmp_wmb();",
+        ),
+        expected=Reaction.FINDING,
+    ),
+    Mutation(
+        name="reader-rereads-flag",
+        description="re-read the flag after the read barrier",
+        apply=_replace(
+            "\tconsume(m->payload_b);\n\treturn 1;",
+            "\tconsume(m->payload_b);\n\tconsume(m->ready);\n\treturn 1;",
+        ),
+        expected=Reaction.FINDING,
+    ),
+    Mutation(
+        name="writer-barrier-removed",
+        description="drop smp_wmb from one writer entirely",
+        apply=_replace(
+            "\tm->payload_b = 4;\n\tsmp_wmb();\n\tm->ready = 1;",
+            "\tm->payload_b = 4;\n\tm->ready = 1;",
+        ),
+        expected=Reaction.ADVISORY,
+    ),
+    Mutation(
+        name="reader-barrier-removed",
+        description="drop smp_rmb from the reader",
+        apply=_replace(
+            "\tsmp_rmb();\n\tconsume(m->payload_a);",
+            "\tconsume(m->payload_a);",
+        ),
+        expected=Reaction.ADVISORY,
+    ),
+    Mutation(
+        name="writer-wrong-primitive",
+        description="replace one writer's smp_wmb with smp_rmb",
+        apply=_replace(
+            "\tm->payload_b = 4;\n\tsmp_wmb();",
+            "\tm->payload_b = 4;\n\tsmp_rmb();",
+        ),
+        expected=Reaction.FINDING,
+    ),
+    Mutation(
+        name="payload-write-after-flag",
+        description="move a payload write after the flag store "
+                    "(partial-publication regression)",
+        apply=_replace(
+            "\tm->payload_a = 1;\n\tm->payload_b = 2;\n\tsmp_wmb();\n"
+            "\tm->ready = 1;",
+            "\tm->payload_a = 1;\n\tsmp_wmb();\n\tm->ready = 1;\n"
+            "\tm->payload_b = 2;",
+        ),
+        expected=Reaction.FINDING,
+    ),
+    Mutation(
+        name="benign-padding",
+        description="insert harmless statements around the barrier "
+                    "(control: must stay silent)",
+        apply=_replace(
+            "\tsmp_wmb();\n\tm->ready = 1;\n}\n\nvoid refill_mbox",
+            "\tcpu_relax();\n\tsmp_wmb();\n\tcpu_relax();\n"
+            "\tm->ready = 1;\n}\n\nvoid refill_mbox",
+        ),
+        expected=Reaction.SILENT,
+    ),
+    Mutation(
+        name="benign-extra-reader",
+        description="add another correct reader (control: must stay "
+                    "silent)",
+        apply=lambda source: source + (
+            "\nint peek_mbox(struct mbox *m)\n{\n"
+            "\tif (!m->ready)\n\t\treturn 0;\n\tsmp_rmb();\n"
+            "\tconsume(m->payload_a);\n\tconsume(m->payload_b);\n"
+            "\treturn 1;\n}\n"
+        ),
+        expected=Reaction.SILENT,
+    ),
+]
+
+
+@dataclass
+class MutationOutcome:
+    mutation: Mutation
+    reaction: Reaction
+    detail: str = ""
+
+    @property
+    def as_expected(self) -> bool:
+        return self.reaction is self.mutation.expected
+
+
+def classify_reaction(source: str, baseline_pairings: int) -> tuple[Reaction, str]:
+    """Run the full tool stack on ``source`` and classify its reaction."""
+    from repro.api import analyze_source
+    from repro.checkers.missing_barrier import advise_missing_barriers
+
+    analysis = analyze_source(source, filename="mutant.c", annotate=False)
+    if analysis.findings:
+        kinds = ", ".join(sorted({f.kind.value for f in analysis.findings}))
+        return Reaction.FINDING, kinds
+    advisories = advise_missing_barriers(
+        analysis.result, analysis.engine.source
+    )
+    if advisories:
+        return Reaction.ADVISORY, advisories[0].describe()
+    if len(analysis.pairings) < baseline_pairings:
+        return Reaction.PAIRING_LOST, (
+            f"{baseline_pairings} -> {len(analysis.pairings)} pairings"
+        )
+    return Reaction.SILENT, ""
+
+
+def run_mutation_harness(
+    mutations: list[Mutation] | None = None,
+) -> list[MutationOutcome]:
+    """Apply every mutation to the base scenario and classify."""
+    from repro.api import analyze_source
+
+    mutations = mutations if mutations is not None else MUTATIONS
+    baseline = analyze_source(BASE_SCENARIO, annotate=False)
+    assert baseline.is_clean, "base scenario must be clean"
+    baseline_pairings = len(baseline.pairings)
+
+    outcomes: list[MutationOutcome] = []
+    for mutation in mutations:
+        mutated = mutation.apply(BASE_SCENARIO)
+        reaction, detail = classify_reaction(mutated, baseline_pairings)
+        outcomes.append(
+            MutationOutcome(mutation=mutation, reaction=reaction,
+                            detail=detail)
+        )
+    return outcomes

@@ -1,0 +1,1028 @@
+"""C code templates for the synthetic kernel corpus.
+
+Each emitter returns a :class:`PatternCode`: the C text of one pattern
+instance (struct definition plus functions) and its ground-truth records.
+The patterns mirror the paper:
+
+* ``correct_pair`` — Listing 1, lockless init with flag + payload;
+* ``misplaced_pair`` — Patch 1, flag read on the wrong side;
+* ``reread_cross_pair`` — Patch 3, value re-read across the read barrier;
+* ``reread_guard_pair`` — Patch 2, value re-read despite a guard;
+* ``wrong_type_group`` — Table 3's wrong-barrier-type bug (three
+  functions; the buggy writer joins via the multi-barrier extension);
+* ``seqcount_group`` / ``seqcount_bug_group`` — Listing 3 / Figure 5;
+* ``unneeded_*`` — §6.3 redundant barriers (Patch 4 et al.);
+* ``ipc_pattern`` — §4.2 implicit-IPC writers (left unpaired);
+* ``solitary_pattern`` — barriers cooperating with locks (unpaired);
+* ``bnx2x_fp_pair`` — Listing 4, the by-design false positive;
+* ``generic_type_pair`` — §6.4's incorrect pairings via generic types;
+* ``sweep_noise_pattern`` — far generic objects that only enter windows
+  in the Figure 6 sweep, inflating incorrect pairings.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.corpus.groundtruth import ExpectedFalsePositive, InjectedBug
+
+
+@dataclass
+class PatternCode:
+    """One emitted pattern instance."""
+
+    pattern_id: str
+    #: C text per chunk; multi-file patterns emit one chunk per file.
+    chunks: list[str]
+    functions: list[str]
+    bugs: list[InjectedBug] = field(default_factory=list)
+    fps: list[ExpectedFalsePositive] = field(default_factory=list)
+    is_generic: bool = False
+    #: Number of unneeded-barrier findings this pattern should produce.
+    unneeded: int = 0
+    #: Struct/typedef text that must go into the subsystem header instead
+    #: of the .c file (cross-file patterns).
+    header_code: str = ""
+
+    @property
+    def code(self) -> str:
+        return self.chunks[0]
+
+
+def _pad(count: int, indent: str = "\t") -> list[str]:
+    """Filler statements: one linear statement each, no object accesses."""
+    return [f"{indent}cpu_relax();" for _ in range(count)]
+
+
+# ---------------------------------------------------------------------------
+# Correct and buggy single-pair patterns
+# ---------------------------------------------------------------------------
+
+
+def correct_pair(
+    uid: str,
+    rng: random.Random,
+    writer_pad: int = 0,
+    reader_flag_pad: int = 0,
+    reader_payload_pad: int = 0,
+    cross_file: bool = False,
+    commented: bool = False,
+) -> PatternCode:
+    """Listing 1: writer initializes payload, wmb, sets flag; reader
+    checks flag, rmb, reads payload.
+
+    ``writer_pad`` statements sit between the payload writes and the
+    write barrier (controls Figure 6 distances); ``reader_payload_pad``
+    sits between the read barrier and the payload reads (Figure 7).
+    ``commented`` adds a pairing comment above the write barrier — in
+    the kernel fewer than 20 % of barriers carry one (§8).
+    """
+    struct = f"obj_{uid}"
+    writer = f"{uid}_writer"
+    reader = f"{uid}_reader"
+    struct_def = (
+        f"struct {struct} {{\n"
+        f"\tint payload_a;\n"
+        f"\tint payload_b;\n"
+        f"\tint ready;\n"
+        f"}};\n"
+    )
+    comment_lines = (
+        [f"\t/* Paired with smp_rmb() in {reader}(). */"]
+        if commented else []
+    )
+    writer_lines = [
+        f"void {writer}(struct {struct} *obj)", "{",
+        "\tobj->payload_a = 1;",
+        "\tobj->payload_b = 2;",
+        *_pad(writer_pad),
+        *comment_lines,
+        "\tsmp_wmb();",
+        "\tobj->ready = 1;",
+        "}",
+    ]
+    reader_lines = [
+        f"int {reader}(struct {struct} *obj)", "{",
+        *_pad(reader_flag_pad),
+        "\tif (!obj->ready)",
+        "\t\treturn 0;",
+        "\tsmp_rmb();",
+        *_pad(reader_payload_pad),
+        "\tconsume(obj->payload_a);",
+        "\tconsume(obj->payload_b);",
+        "\treturn 1;",
+        "}",
+    ]
+    writer_code = "\n".join(writer_lines) + "\n"
+    reader_code = "\n".join(reader_lines) + "\n"
+    if cross_file:
+        return PatternCode(
+            pattern_id=uid,
+            chunks=[writer_code, reader_code],
+            functions=[writer, reader],
+            header_code=struct_def,
+        )
+    return PatternCode(
+        pattern_id=uid,
+        chunks=[struct_def + writer_code + reader_code],
+        functions=[writer, reader],
+    )
+
+
+def correct_pair_acqrel(uid: str, rng: random.Random) -> PatternCode:
+    """Listing 1 via acquire/release: ``smp_store_release`` publishes the
+    flag, ``smp_load_acquire`` consumes it."""
+    struct = f"obj_{uid}"
+    writer = f"{uid}_publish"
+    reader = f"{uid}_consume"
+    code = "\n".join([
+        f"struct {struct} {{",
+        "\tint payload;",
+        "\tint ready;",
+        "};",
+        f"void {writer}(struct {struct} *obj)", "{",
+        "\tobj->payload = 1;",
+        "\tsmp_store_release(&obj->ready, 1);",
+        "}",
+        f"int {reader}(struct {struct} *obj)", "{",
+        "\tif (!smp_load_acquire(&obj->ready))",
+        "\t\treturn 0;",
+        "\tconsume(obj->payload);",
+        "\treturn 1;",
+        "}",
+    ]) + "\n"
+    return PatternCode(
+        pattern_id=uid, chunks=[code], functions=[writer, reader]
+    )
+
+
+def correct_pair_fullmb(uid: str, rng: random.Random) -> PatternCode:
+    """Listing 1 with full barriers (``smp_mb``) on both sides."""
+    struct = f"obj_{uid}"
+    writer = f"{uid}_set"
+    reader = f"{uid}_get"
+    pad = rng.randint(0, 3)
+    code = "\n".join([
+        f"struct {struct} {{",
+        "\tint payload;",
+        "\tint ready;",
+        "};",
+        f"void {writer}(struct {struct} *obj)", "{",
+        "\tobj->payload = 3;",
+        "\tsmp_mb();",
+        "\tobj->ready = 1;",
+        "}",
+        f"int {reader}(struct {struct} *obj)", "{",
+        "\tif (!obj->ready)",
+        "\t\treturn 0;",
+        "\tsmp_mb();",
+        *_pad(pad),
+        "\tconsume(obj->payload);",
+        "\treturn 1;",
+        "}",
+    ]) + "\n"
+    return PatternCode(
+        pattern_id=uid, chunks=[code], functions=[writer, reader]
+    )
+
+
+def correct_pair_atomic_modifier(uid: str, rng: random.Random) -> PatternCode:
+    """Flag carried by an atomic counter; the surrounding
+    ``smp_mb__before_atomic``/``smp_mb__after_atomic`` upgrade the plain
+    atomics into barriers."""
+    struct = f"obj_{uid}"
+    writer = f"{uid}_arm"
+    reader = f"{uid}_poll"
+    code = "\n".join([
+        f"struct {struct} {{",
+        "\tint payload;",
+        "\tatomic_t cnt;",
+        "};",
+        f"void {writer}(struct {struct} *obj)", "{",
+        "\tobj->payload = 9;",
+        "\tsmp_mb__before_atomic();",
+        "\tatomic_inc(&obj->cnt);",
+        "}",
+        f"int {reader}(struct {struct} *obj)", "{",
+        "\tif (!atomic_read(&obj->cnt))",
+        "\t\treturn 0;",
+        "\tsmp_mb__after_atomic();",
+        "\tconsume(obj->payload);",
+        "\treturn 1;",
+        "}",
+    ]) + "\n"
+    return PatternCode(
+        pattern_id=uid, chunks=[code], functions=[writer, reader]
+    )
+
+
+def seqcount_helper_group(uid: str, rng: random.Random) -> PatternCode:
+    """Listing 3 using the seqcount interface itself: the barriers are
+    embedded in read/write_seqcount_begin/end/retry."""
+    struct = f"stats_{uid}"
+    writer = f"{uid}_update_stats"
+    reader = f"{uid}_fetch_stats"
+    code = "\n".join([
+        f"struct {struct} {{",
+        "\tseqcount_t seq;",
+        "\tlong rx;",
+        "\tlong tx;",
+        "};",
+        f"void {writer}(struct {struct} *s)", "{",
+        "\twrite_seqcount_begin(&s->seq);",
+        "\ts->rx += 1;",
+        "\ts->tx += 2;",
+        "\twrite_seqcount_end(&s->seq);",
+        "}",
+        f"long {reader}(struct {struct} *s)", "{",
+        "\tunsigned int v;",
+        "\tlong rx;",
+        "\tlong tx;",
+        "\tdo {",
+        "\t\tv = read_seqcount_begin(&s->seq);",
+        "\t\trx = s->rx;",
+        "\t\ttx = s->tx;",
+        "\t} while (read_seqcount_retry(&s->seq, v));",
+        "\treturn rx + tx;",
+        "}",
+    ]) + "\n"
+    return PatternCode(
+        pattern_id=uid, chunks=[code], functions=[writer, reader]
+    )
+
+
+def misplaced_pair(uid: str, rng: random.Random) -> PatternCode:
+    """Patch 1: the reader checks the flag *after* the read barrier."""
+    struct = f"rqst_{uid}"
+    writer = f"{uid}_complete"
+    reader = f"{uid}_decode"
+    pad = rng.randint(2, 6)
+    code = "\n".join([
+        f"struct {struct} {{",
+        "\tint buf_len;",
+        "\tint bytes_recd;",
+        "\tint rcv_len;",
+        "};",
+        f"void {writer}(struct {struct} *req)", "{",
+        "\treq->buf_len = 128;",
+        "\tsmp_wmb();",
+        "\treq->bytes_recd = 1;",
+        "}",
+        f"void {reader}(struct {struct} *req)", "{",
+        "\tsmp_rmb();",
+        *_pad(pad),
+        "\tif (!req->bytes_recd)",
+        "\t\treturn;",
+        "\treq->rcv_len = req->buf_len;",
+        "}",
+    ]) + "\n"
+    return PatternCode(
+        pattern_id=uid,
+        chunks=[code],
+        functions=[writer, reader],
+        bugs=[
+            InjectedBug(
+                bug_id=f"{uid}-misplaced",
+                kind="misplaced",
+                filename="",  # filled by the generator
+                function=reader,
+                field_name="bytes_recd",
+            )
+        ],
+    )
+
+
+def reread_cross_pair(uid: str, rng: random.Random) -> PatternCode:
+    """Patch 3: counter read before the barrier, racily re-read after."""
+    struct = f"reuse_{uid}"
+    writer = f"{uid}_add_sock"
+    reader = f"{uid}_select_sock"
+    pad = rng.randint(15, 30)
+    code = "\n".join([
+        f"struct {struct} {{",
+        "\tint socks;",
+        "\tint num_socks;",
+        "};",
+        f"void {writer}(struct {struct} *reuse)", "{",
+        "\treuse->socks = 1;",
+        "\tsmp_wmb();",
+        "\treuse->num_socks++;",
+        "}",
+        f"int {reader}(struct {struct} *reuse)", "{",
+        "\tint num = reuse->num_socks;",
+        "\tif (num == 0)",
+        "\t\treturn 0;",
+        "\tsmp_rmb();",
+        "\tconsume(reuse->socks);",
+        *_pad(pad),
+        "\tconsume(reuse->num_socks);",
+        "\treturn num;",
+        "}",
+    ]) + "\n"
+    return PatternCode(
+        pattern_id=uid,
+        chunks=[code],
+        functions=[writer, reader],
+        bugs=[
+            InjectedBug(
+                bug_id=f"{uid}-reread",
+                kind="reread",
+                filename="",
+                function=reader,
+                field_name="num_socks",
+            )
+        ],
+    )
+
+
+def reread_guard_pair(uid: str, rng: random.Random) -> PatternCode:
+    """Patch 2: value read, checked in a condition, then re-read."""
+    struct = f"event_{uid}"
+    writer = f"{uid}_install"
+    reader = f"{uid}_filters_apply"
+    code = "\n".join([
+        f"struct {struct} {{",
+        "\tint task;",
+        "\tint filters;",
+        "};",
+        f"void {writer}(struct {struct} *event)", "{",
+        "\tevent->filters = 4;",
+        "\tsmp_wmb();",
+        "\tevent->task = 1;",
+        "}",
+        f"void {reader}(struct {struct} *event)", "{",
+        "\tint task = event->task;",
+        "\tif (task == 0)",
+        "\t\treturn;",
+        "\tget_task_mm(event->task);",
+        "\tsmp_rmb();",
+        "\tconsume(event->filters);",
+        "}",
+    ]) + "\n"
+    return PatternCode(
+        pattern_id=uid,
+        chunks=[code],
+        functions=[writer, reader],
+        bugs=[
+            InjectedBug(
+                bug_id=f"{uid}-reread",
+                kind="reread",
+                filename="",
+                function=reader,
+                field_name="task",
+            )
+        ],
+    )
+
+
+def wrong_type_group(uid: str, rng: random.Random) -> PatternCode:
+    """One correct writer/reader pair plus a second writer using
+    ``smp_rmb`` where a write barrier is required (Table 3, one bug)."""
+    struct = f"ring_{uid}"
+    writer = f"{uid}_publish"
+    buggy = f"{uid}_republish"
+    reader = f"{uid}_consume"
+    code = "\n".join([
+        f"struct {struct} {{",
+        "\tint slot;",
+        "\tint head;",
+        "};",
+        f"void {writer}(struct {struct} *r)", "{",
+        "\tr->slot = 7;",
+        "\tsmp_wmb();",
+        "\tr->head = 1;",
+        "}",
+        f"void {buggy}(struct {struct} *r)", "{",
+        "\tr->slot = 9;",
+        "\tsmp_rmb();",
+        "\tr->head = 2;",
+        "}",
+        f"int {reader}(struct {struct} *r)", "{",
+        "\tif (!r->head)",
+        "\t\treturn 0;",
+        "\tsmp_rmb();",
+        "\tconsume(r->slot);",
+        "\treturn 1;",
+        "}",
+    ]) + "\n"
+    return PatternCode(
+        pattern_id=uid,
+        chunks=[code],
+        functions=[writer, buggy, reader],
+        bugs=[
+            InjectedBug(
+                bug_id=f"{uid}-wrong-type",
+                kind="wrong-type",
+                filename="",
+                function=buggy,
+            )
+        ],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Seqcount (Figure 5 / Listing 3) patterns
+# ---------------------------------------------------------------------------
+
+
+def seqcount_group(uid: str, rng: random.Random) -> PatternCode:
+    """Listing 3: version-checked counters, all four barriers correct."""
+    struct = f"counters_{uid}"
+    writer = f"{uid}_add_counters"
+    reader = f"{uid}_get_counters"
+    code = "\n".join([
+        f"struct {struct} {{",
+        "\tunsigned int seq;",
+        "\tlong bcnt;",
+        "\tlong pcnt;",
+        "};",
+        f"void {writer}(struct {struct} *s)", "{",
+        "\ts->seq++;",
+        "\tsmp_wmb();",
+        "\ts->bcnt += 16;",
+        "\ts->pcnt += 1;",
+        "\tsmp_wmb();",
+        "\ts->seq++;",
+        "}",
+        f"long {reader}(struct {struct} *s)", "{",
+        "\tunsigned int v;",
+        "\tlong b;",
+        "\tlong p;",
+        "\tdo {",
+        "\t\tv = s->seq;",
+        "\t\tsmp_rmb();",
+        "\t\tb = s->bcnt;",
+        "\t\tp = s->pcnt;",
+        "\t\tsmp_rmb();",
+        "\t} while (v != s->seq);",
+        "\treturn b + p;",
+        "}",
+    ]) + "\n"
+    return PatternCode(
+        pattern_id=uid, chunks=[code], functions=[writer, reader]
+    )
+
+
+def seqcount_bug_group(uid: str, rng: random.Random) -> PatternCode:
+    """Figure 5 with a bug: a counter re-read after the closing read
+    barrier escapes the version check."""
+    struct = f"counters_{uid}"
+    writer = f"{uid}_add_counters"
+    reader = f"{uid}_get_counters"
+    pad = rng.randint(3, 8)
+    code = "\n".join([
+        f"struct {struct} {{",
+        "\tunsigned int seq;",
+        "\tlong bcnt;",
+        "\tlong pcnt;",
+        "};",
+        f"void {writer}(struct {struct} *s)", "{",
+        "\ts->seq++;",
+        "\tsmp_wmb();",
+        "\ts->bcnt += 16;",
+        "\ts->pcnt += 1;",
+        "\tsmp_wmb();",
+        "\ts->seq++;",
+        "}",
+        f"long {reader}(struct {struct} *s)", "{",
+        "\tunsigned int v;",
+        "\tlong b;",
+        "\tlong p;",
+        "\tdo {",
+        "\t\tv = s->seq;",
+        "\t\tsmp_rmb();",
+        "\t\tb = s->bcnt;",
+        "\t\tp = s->pcnt;",
+        "\t\tsmp_rmb();",
+        "\t} while (v != s->seq);",
+        *_pad(pad),
+        "\treport(s->bcnt);",
+        "\treturn b + p;",
+        "}",
+    ]) + "\n"
+    return PatternCode(
+        pattern_id=uid,
+        chunks=[code],
+        functions=[writer, reader],
+        bugs=[
+            InjectedBug(
+                bug_id=f"{uid}-seq-reread",
+                kind="reread",
+                filename="",
+                function=reader,
+                field_name="bcnt",
+            )
+        ],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Unneeded-barrier and unpaired patterns
+# ---------------------------------------------------------------------------
+
+
+def unneeded_wakeup(uid: str, rng: random.Random) -> PatternCode:
+    """Patch 4: smp_wmb directly before a wake-up that is a barrier."""
+    struct = f"wake_{uid}"
+    fn = f"{uid}_wake_function"
+    wakeup = rng.choice(
+        ["wake_up_process", "wake_up", "complete", "wake_up_all"]
+    )
+    arg = "&data->waiter" if wakeup != "wake_up_process" else "data->task"
+    code = "\n".join([
+        f"struct {struct} {{",
+        "\tint got_token;",
+        "\tint task;",
+        "\tint waiter;",
+        "};",
+        f"int {fn}(struct {struct} *data)", "{",
+        "\tdata->got_token = 1;",
+        "\tsmp_wmb();",
+        f"\t{wakeup}({arg});",
+        "\treturn 1;",
+        "}",
+    ]) + "\n"
+    return PatternCode(
+        pattern_id=uid,
+        chunks=[code],
+        functions=[fn],
+        bugs=[
+            InjectedBug(
+                bug_id=f"{uid}-unneeded",
+                kind="unneeded",
+                filename="",
+                function=fn,
+            )
+        ],
+        unneeded=1,
+    )
+
+
+def unneeded_double_barrier(uid: str, rng: random.Random) -> PatternCode:
+    """A write barrier immediately followed by a full barrier."""
+    struct = f"dev_{uid}"
+    fn = f"{uid}_flush"
+    code = "\n".join([
+        f"struct {struct} {{",
+        "\tint state;",
+        "};",
+        f"void {fn}(struct {struct} *dev)", "{",
+        "\tdev->state = 2;",
+        "\tsmp_wmb();",
+        "\tsmp_mb();",
+        "\tpost_to_hw(dev);",
+        "}",
+    ]) + "\n"
+    return PatternCode(
+        pattern_id=uid,
+        chunks=[code],
+        functions=[fn],
+        bugs=[
+            InjectedBug(
+                bug_id=f"{uid}-unneeded",
+                kind="unneeded",
+                filename="",
+                function=fn,
+            )
+        ],
+        unneeded=1,
+    )
+
+
+def unneeded_atomic(uid: str, rng: random.Random) -> PatternCode:
+    """A full barrier before a fully-ordered atomic RMW."""
+    struct = f"ref_{uid}"
+    fn = f"{uid}_put"
+    atomic = rng.choice(
+        ["atomic_inc_return", "atomic_dec_and_test", "atomic_fetch_add"]
+    )
+    args = "&obj->refs" if atomic != "atomic_fetch_add" else "1, &obj->refs"
+    code = "\n".join([
+        f"struct {struct} {{",
+        "\tint refs;",
+        "\tint state;",
+        "};",
+        f"void {fn}(struct {struct} *obj)", "{",
+        "\tobj->state = 3;",
+        "\tsmp_mb();",
+        f"\t{atomic}({args});",
+        "}",
+    ]) + "\n"
+    return PatternCode(
+        pattern_id=uid,
+        chunks=[code],
+        functions=[fn],
+        bugs=[
+            InjectedBug(
+                bug_id=f"{uid}-unneeded",
+                kind="unneeded",
+                filename="",
+                function=fn,
+            )
+        ],
+        unneeded=1,
+    )
+
+
+def ipc_pattern(uid: str, rng: random.Random) -> PatternCode:
+    """§4.2: write barrier ordering memory against a (non-adjacent)
+    wake-up call; correctly left unpaired and not unneeded."""
+    struct = f"job_{uid}"
+    fn = f"{uid}_submit"
+    code = "\n".join([
+        f"struct {struct} {{",
+        "\tint payload;",
+        "\tint status;",
+        "};",
+        f"void {fn}(struct {struct} *job)", "{",
+        "\tjob->payload = 11;",
+        "\tsmp_wmb();",
+        "\tjob->status = 1;",
+        "\twake_up(&job->status);",
+        "}",
+    ]) + "\n"
+    return PatternCode(pattern_id=uid, chunks=[code], functions=[fn])
+
+
+def solitary_pattern(uid: str, rng: random.Random) -> PatternCode:
+    """A barrier cooperating with lock-based code (§6.4).
+
+    The updater's barrier has no partner barrier — the concurrent reader
+    holds the same spinlock instead — so OFence conservatively leaves it
+    unpaired, while a lockset analysis pairs the two functions through
+    the shared lock and finds the accesses consistently protected.
+    """
+    struct = f"tbl_{uid}"
+    fn = f"{uid}_update"
+    reader = f"{uid}_lookup"
+    barrier = rng.choice([
+        "smp_wmb();", "smp_mb();", "smp_store_mb(t->stamp, 1);",
+    ])
+    code = "\n".join([
+        f"struct {struct} {{",
+        "\tspinlock_t lock;",
+        "\tint count;",
+        "\tint gen;",
+        "\tint stamp;",
+        "};",
+        f"void {fn}(struct {struct} *t)", "{",
+        "\tspin_lock(&t->lock);",
+        "\tt->count = t->count + 1;",
+        f"\t{barrier}",
+        "\tt->gen = t->gen + 1;",
+        "\tspin_unlock(&t->lock);",
+        "}",
+        f"int {reader}(struct {struct} *t)", "{",
+        "\tint sum;",
+        "\tspin_lock(&t->lock);",
+        "\tsum = t->count + t->gen;",
+        "\tspin_unlock(&t->lock);",
+        "\treturn sum;",
+        "}",
+    ]) + "\n"
+    return PatternCode(
+        pattern_id=uid, chunks=[code], functions=[fn, reader]
+    )
+
+
+# ---------------------------------------------------------------------------
+# False-positive patterns
+# ---------------------------------------------------------------------------
+
+
+def bnx2x_fp_pair(uid: str, rng: random.Random) -> PatternCode:
+    """Listing 4: the same field is legitimately written on both sides of
+    the barrier (at least one bit always set); OFence mis-patches it."""
+    struct = f"bp_{uid}"
+    writer = f"{uid}_sp_event"
+    reader = f"{uid}_sp_poll"
+    code = "\n".join([
+        f"struct {struct} {{",
+        "\tunsigned long sp_state;",
+        "\tint mode;",
+        "};",
+        f"void {writer}(struct {struct} *bp)", "{",
+        "\tbp->mode = 1;",
+        "\tset_bit(0, &bp->sp_state);",
+        "\tsmp_wmb();",
+        "\tclear_bit(1, &bp->sp_state);",
+        "}",
+        f"int {reader}(struct {struct} *bp)", "{",
+        "\tif (!(bp->sp_state & 1))",
+        "\t\treturn 0;",
+        "\tsmp_rmb();",
+        "\tconsume(bp->mode);",
+        "\treturn 1;",
+        "}",
+    ]) + "\n"
+    return PatternCode(
+        pattern_id=uid,
+        chunks=[code],
+        functions=[writer, reader],
+        fps=[
+            ExpectedFalsePositive(
+                fp_id=f"{uid}-fp",
+                filename="",
+                function=reader,
+                reason="field written on both sides of the barrier "
+                       "(bnx2x pattern, Listing 4)",
+            ),
+            ExpectedFalsePositive(
+                fp_id=f"{uid}-fp-writer",
+                filename="",
+                function=writer,
+                reason="field written on both sides of the barrier "
+                       "(bnx2x pattern, Listing 4)",
+            ),
+        ],
+    )
+
+
+#: Generic kernel types whose fields pair unrelated functions (§6.4).
+GENERIC_TYPES: list[tuple[str, str, str]] = [
+    ("list_head", "next", "prev"),
+    ("hlist_node", "nxt", "pprev"),
+    ("rb_node", "rb_left", "rb_right"),
+    ("callback_head", "cb_next", "func"),
+    ("work_struct", "entry_next", "wfunc"),
+    ("timer_list", "expires", "tfn"),
+    ("kref_obj", "refcount", "release"),
+    ("wait_queue", "head_next", "head_prev"),
+    ("completion_obj", "done", "wait_next"),
+    ("kobject_obj", "parent", "kset"),
+    ("radix_node", "shift", "slots"),
+    ("xarray_node", "marks", "xa_slots"),
+    ("bio_obj", "bi_next", "bi_flags"),
+    ("page_obj", "page_flags", "mapping"),
+    ("dentry_obj", "d_parent", "d_name"),
+]
+
+
+def generic_type_pair(
+    uid: str, rng: random.Random, type_index: int
+) -> PatternCode:
+    """Two unrelated functions touching the same generic-type fields
+    around barriers; OFence pairs them incorrectly (15 such pairings in
+    the paper).  The generic struct lives in a shared header."""
+    struct, f1, f2 = GENERIC_TYPES[type_index % len(GENERIC_TYPES)]
+    fn_a = f"{uid}_attach"
+    fn_b = f"{uid}_scan"
+    code_a = "\n".join([
+        f"void {fn_a}(struct {struct} *node, struct {struct} *other)", "{",
+        f"\tnode->{f1} = other->{f1};",
+        "\tsmp_wmb();",
+        f"\tnode->{f2} = 0;",
+        "}",
+    ]) + "\n"
+    code_b = "\n".join([
+        f"int {fn_b}(struct {struct} *node)", "{",
+        f"\tif (!node->{f2})",
+        "\t\treturn 0;",
+        "\tsmp_rmb();",
+        f"\tconsume(node->{f1});",
+        "\treturn 1;",
+        "}",
+    ]) + "\n"
+    return PatternCode(
+        pattern_id=uid,
+        chunks=[code_a, code_b],
+        functions=[fn_a, fn_b],
+        is_generic=True,
+    )
+
+
+def sweep_noise_pattern(
+    uid: str, rng: random.Random, family: int
+) -> PatternCode:
+    """A solitary write barrier with generic-type accesses placed 6-12
+    statements away: invisible at the default window of 5, but inflating
+    incorrect pairings when Figure 6 widens the window."""
+    struct = f"sweep_{family}"
+    fn = f"{uid}_kick"
+    far = rng.randint(6, 12)
+    code = "\n".join([
+        f"struct {struct} {{",
+        "\tint gen_a;",
+        "\tint gen_b;",
+        "};",
+        f"struct local_{uid} {{",
+        "\tint seqno;",
+        "\tint doorbell;",
+        "};",
+        f"void {fn}(struct {struct} *n, struct local_{uid} *priv)", "{",
+        "\tpriv->seqno = 1;",
+        "\tn->gen_b = 1;",
+        "\tsmp_wmb();",
+        "\tpriv->doorbell = 1;",
+        *_pad(far - 1),
+        "\tn->gen_a = 1;",
+        "}",
+    ]) + "\n"
+    return PatternCode(
+        pattern_id=uid, chunks=[code], functions=[fn], is_generic=True
+    )
+
+
+def decoy_reader_group(
+    uid: str, rng: random.Random
+) -> tuple[PatternCode, PatternCode]:
+    """A correct pair plus an unrelated *decoy* reader over the same
+    struct type.
+
+    The decoy's window also contains the flag and payload, but farther
+    from its barrier than the intended reader's — Algorithm 1's distance
+    weighting picks the intended reader; taking the first candidate
+    instead (ablation) may pick the decoy.  The pair's private third
+    field keeps the multi-barrier extension from absorbing the decoy.
+    """
+    struct = f"chan_{uid}"
+    writer = f"{uid}_post"
+    reader = f"{uid}_recv"
+    decoy = f"{uid}_snoop"
+    pair_code = "\n".join([
+        f"struct {struct} {{",
+        "\tint ready;",
+        "\tint payload;",
+        "\tint priv;",
+        "};",
+        f"void {writer}(struct {struct} *c)", "{",
+        "\tc->payload = 1;",
+        "\tc->priv = 2;",
+        "\tsmp_wmb();",
+        "\tc->ready = 1;",
+        "}",
+        f"int {reader}(struct {struct} *c)", "{",
+        "\tif (!c->ready)",
+        "\t\treturn 0;",
+        "\tsmp_rmb();",
+        "\tconsume(c->payload);",
+        "\tconsume(c->priv);",
+        "\treturn 1;",
+        "}",
+    ]) + "\n"
+    decoy_pad = rng.randint(3, 6)
+    decoy_code = "\n".join([
+        f"struct {struct} {{",
+        "\tint ready;",
+        "\tint payload;",
+        "\tint priv;",
+        "};",
+        f"int {decoy}(struct {struct} *c)", "{",
+        *_pad(decoy_pad),
+        "\tif (!c->ready)",
+        "\t\treturn 0;",
+        "\tsmp_rmb();",
+        *_pad(decoy_pad),
+        "\tconsume(c->payload);",
+        "\treturn 1;",
+        "}",
+    ]) + "\n"
+    pair = PatternCode(
+        pattern_id=uid, chunks=[pair_code], functions=[writer, reader]
+    )
+    decoy_pattern = PatternCode(
+        pattern_id=f"{uid}_decoy", chunks=[decoy_code], functions=[decoy]
+    )
+    return pair, decoy_pattern
+
+
+def unordered_noise_pair(
+    uid: str, rng: random.Random
+) -> tuple[PatternCode, PatternCode]:
+    """Two unrelated functions sharing a struct whose accesses sit on
+    the *same side* of their barriers: Algorithm 1's ordering
+    requirement (one object before, the other after) rejects the
+    pairing; dropping it (ablation) admits these incorrect pairs."""
+    struct = f"log_{uid}"
+
+    def one(tag: str) -> PatternCode:
+        fn = f"{uid}{tag}_flush"
+        code = "\n".join([
+            f"struct {struct} {{",
+            "\tint head;",
+            "\tint tail;",
+            "};",
+            f"void {fn}(struct {struct} *l, struct priv_{uid}{tag} *p)",
+            "{",
+            "\tconsume(l->head);",
+            "\tconsume(l->tail);",
+            "\tp->mark = 1;",
+            "\tsmp_wmb();",
+            "\tp->done = 1;",
+            "}",
+            f"struct priv_{uid}{tag} {{",
+            "\tint mark;",
+            "\tint done;",
+            "};",
+        ]) + "\n"
+        return PatternCode(
+            pattern_id=f"{uid}{tag}", chunks=[code], functions=[fn],
+            is_generic=True,
+        )
+
+    return one("a"), one("b")
+
+
+def rcu_pair(uid: str, rng: random.Random) -> PatternCode:
+    """RCU publication: ``rcu_assign_pointer`` releases an initialized
+    item; ``rcu_dereference`` acquires it inside a read-side critical
+    section.  Both helpers embed their barrier (§1's "kernel APIs that
+    rely on barriers for correctness")."""
+    item = f"itm_{uid}"
+    table = f"rtbl_{uid}"
+    writer = f"{uid}_publish"
+    reader = f"{uid}_lookup"
+    code = "\n".join([
+        f"struct {item} {{",
+        "\tint val;",
+        "\tint tag;",
+        "};",
+        f"struct {table} {{",
+        f"\tstruct {item} *head;",
+        "\tint gen;",
+        "};",
+        f"void {writer}(struct {table} *t, struct {item} *it)", "{",
+        "\tit->val = 9;",
+        "\tit->tag = 1;",
+        "\trcu_assign_pointer(t->head, it);",
+        "}",
+        f"int {reader}(struct {table} *t)", "{",
+        f"\tstruct {item} *it;",
+        "\tint v = 0;",
+        "\trcu_read_lock();",
+        "\tit = rcu_dereference(t->head);",
+        "\tif (it)",
+        "\t\tv = it->val + it->tag;",
+        "\trcu_read_unlock();",
+        "\treturn v;",
+        "}",
+    ]) + "\n"
+    return PatternCode(
+        pattern_id=uid, chunks=[code], functions=[writer, reader]
+    )
+
+
+def missing_barrier_group(uid: str, rng: random.Random) -> PatternCode:
+    """A correct pairing plus §7's missing-barrier material.
+
+    ``hot_update`` repeats the writer's flag/payload protocol *without*
+    the barrier — a genuine missing-barrier candidate; ``init`` writes
+    the same objects during isolated initialization — the canonical
+    false positive the paper warns about ("a structure might be
+    initialized in isolation, and then modified concurrently").
+    """
+    struct = f"mbx_{uid}"
+    writer = f"{uid}_publish"
+    reader = f"{uid}_consume"
+    missing = f"{uid}_hot_update"
+    init = f"{uid}_init"
+    code = "\n".join([
+        f"struct {struct} {{",
+        "\tint flag;",
+        "\tint data0;",
+        "\tint data1;",
+        "};",
+        f"void {writer}(struct {struct} *m)", "{",
+        "\tm->data0 = 1;",
+        "\tm->data1 = 2;",
+        "\tsmp_wmb();",
+        "\tm->flag = 1;",
+        "}",
+        f"int {reader}(struct {struct} *m)", "{",
+        "\tif (!m->flag)",
+        "\t\treturn 0;",
+        "\tsmp_rmb();",
+        "\tconsume(m->data0);",
+        "\tconsume(m->data1);",
+        "\treturn 1;",
+        "}",
+        f"void {missing}(struct {struct} *m, int v)", "{",
+        "\tm->data0 = v;",
+        "\tm->data1 = v + 1;",
+        "\tm->flag = 1;",
+        "}",
+        f"void {init}(struct {struct} *m)", "{",
+        "\tm->data0 = 0;",
+        "\tm->data1 = 0;",
+        "\tm->flag = 0;",
+        "}",
+    ]) + "\n"
+    return PatternCode(
+        pattern_id=uid,
+        chunks=[code],
+        functions=[writer, reader, missing, init],
+    )
+
+
+def noise_functions(uid: str, rng: random.Random) -> str:
+    """Barrier-free filler code (files without barriers)."""
+    fn = f"{uid}_helper"
+    lines = [
+        f"static int {fn}(int a, int b)", "{",
+        "\tint acc = a;",
+        *[f"\tacc = acc + {rng.randint(1, 9)};" for _ in range(rng.randint(1, 4))],
+        "\treturn acc + b;",
+        "}",
+    ]
+    return "\n".join(lines) + "\n"

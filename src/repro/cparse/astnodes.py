@@ -1,0 +1,341 @@
+"""AST node definitions for the kernel-C subset.
+
+Every node carries a source location (``filename``, ``line``).  Statement
+nodes additionally receive a ``stmt_id`` when linearized by the CFG
+builder; the id is the unit of the OFence distance metric ("number of
+statements that separates [an access] from the barrier").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Node:
+    """Base class for all AST nodes."""
+
+    filename: str = field(default="<source>", kw_only=True)
+    line: int = field(default=0, kw_only=True)
+
+    @property
+    def location(self) -> str:
+        return f"{self.filename}:{self.line}"
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Expr(Node):
+    """Base class for expressions."""
+
+
+@dataclass
+class Ident(Expr):
+    name: str = ""
+
+
+@dataclass
+class Number(Expr):
+    text: str = "0"
+
+    @property
+    def value(self) -> int:
+        try:
+            return int(self.text.rstrip("uUlLfF") or "0", 0)
+        except ValueError:
+            return 0
+
+
+@dataclass
+class String(Expr):
+    text: str = '""'
+
+
+@dataclass
+class CharLit(Expr):
+    text: str = "'\\0'"
+
+
+@dataclass
+class Unary(Expr):
+    """Prefix (`!x`, `*p`, `&x`, `++x`) or postfix (`x++`) operator."""
+
+    op: str = ""
+    operand: Expr | None = None
+    prefix: bool = True
+
+
+@dataclass
+class Binary(Expr):
+    op: str = ""
+    lhs: Expr | None = None
+    rhs: Expr | None = None
+
+
+@dataclass
+class Assign(Expr):
+    """`target op value` where op is one of =, +=, -=, ...."""
+
+    op: str = "="
+    target: Expr | None = None
+    value: Expr | None = None
+
+
+@dataclass
+class Ternary(Expr):
+    cond: Expr | None = None
+    then: Expr | None = None
+    other: Expr | None = None
+
+
+@dataclass
+class Call(Expr):
+    func: Expr | None = None
+    args: list[Expr] = field(default_factory=list)
+
+    @property
+    def callee_name(self) -> str | None:
+        """The called function's name when it is a plain identifier."""
+        return self.func.name if isinstance(self.func, Ident) else None
+
+
+@dataclass
+class Member(Expr):
+    """`obj.field` (arrow=False) or `obj->field` (arrow=True)."""
+
+    obj: Expr | None = None
+    fieldname: str = ""
+    arrow: bool = False
+
+
+@dataclass
+class Index(Expr):
+    obj: Expr | None = None
+    index: Expr | None = None
+
+
+@dataclass
+class Cast(Expr):
+    type_name: str = ""
+    pointers: int = 0
+    operand: Expr | None = None
+
+
+@dataclass
+class SizeOf(Expr):
+    """`sizeof(type)` or `sizeof expr`; the argument is kept opaque."""
+
+    text: str = ""
+
+
+@dataclass
+class InitList(Expr):
+    """Brace initializer `{ a, b, .field = c }`."""
+
+    items: list[Expr] = field(default_factory=list)
+
+
+@dataclass
+class CommaExpr(Expr):
+    parts: list[Expr] = field(default_factory=list)
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Stmt(Node):
+    """Base class for statements."""
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr | None = None
+
+
+@dataclass
+class Declarator(Node):
+    """One declared name within a declaration."""
+
+    name: str = ""
+    pointers: int = 0
+    array_dims: int = 0
+    init: Expr | None = None
+
+
+@dataclass
+class DeclStmt(Stmt):
+    """`struct foo *a = ..., b;` — one type, many declarators."""
+
+    type_name: str = ""
+    is_struct: bool = False
+    declarators: list[Declarator] = field(default_factory=list)
+
+
+@dataclass
+class Block(Stmt):
+    stmts: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr | None = None
+    then: Stmt | None = None
+    orelse: Stmt | None = None
+
+
+@dataclass
+class While(Stmt):
+    cond: Expr | None = None
+    body: Stmt | None = None
+
+
+@dataclass
+class DoWhile(Stmt):
+    body: Stmt | None = None
+    cond: Expr | None = None
+
+
+@dataclass
+class For(Stmt):
+    init: Stmt | None = None
+    cond: Expr | None = None
+    step: Expr | None = None
+    body: Stmt | None = None
+
+
+@dataclass
+class MacroLoop(Stmt):
+    """Kernel iterator macros: `for_each_possible_cpu(cpu) { ... }`.
+
+    A call expression immediately followed by a block is not valid C, so
+    parsing it as a loop-shaped construct is unambiguous.
+    """
+
+    call: Call | None = None
+    body: Stmt | None = None
+
+
+@dataclass
+class Switch(Stmt):
+    expr: Expr | None = None
+    body: Stmt | None = None
+
+
+@dataclass
+class CaseLabel(Stmt):
+    expr: Expr | None = None  # None for `default:`
+
+
+@dataclass
+class Goto(Stmt):
+    label: str = ""
+
+
+@dataclass
+class LabelStmt(Stmt):
+    name: str = ""
+
+
+@dataclass
+class Return(Stmt):
+    value: Expr | None = None
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+@dataclass
+class Empty(Stmt):
+    pass
+
+
+# ---------------------------------------------------------------------------
+# Top-level declarations
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Param(Node):
+    type_name: str = ""
+    is_struct: bool = False
+    pointers: int = 0
+    name: str = ""
+
+
+@dataclass
+class StructField(Node):
+    type_name: str = ""
+    is_struct: bool = False
+    pointers: int = 0
+    name: str = ""
+    array_dims: int = 0
+
+
+@dataclass
+class StructDef(Node):
+    name: str = ""
+    fields: list[StructField] = field(default_factory=list)
+    is_union: bool = False
+
+
+@dataclass
+class EnumDef(Node):
+    name: str = ""
+    members: list[str] = field(default_factory=list)
+
+
+@dataclass
+class TypedefDecl(Node):
+    name: str = ""
+    base_type: str = ""
+    is_struct: bool = False
+    pointers: int = 0
+
+
+@dataclass
+class FunctionDef(Node):
+    name: str = ""
+    return_type: str = "void"
+    return_is_struct: bool = False
+    return_pointers: int = 0
+    params: list[Param] = field(default_factory=list)
+    body: Block | None = None
+    is_static: bool = False
+    is_inline: bool = False
+
+
+@dataclass
+class GlobalDecl(Node):
+    decl: DeclStmt | None = None
+
+
+@dataclass
+class TranslationUnit(Node):
+    """One parsed source file."""
+
+    functions: list[FunctionDef] = field(default_factory=list)
+    structs: list[StructDef] = field(default_factory=list)
+    enums: list[EnumDef] = field(default_factory=list)
+    typedefs: list[TypedefDecl] = field(default_factory=list)
+    globals: list[GlobalDecl] = field(default_factory=list)
+
+    def function(self, name: str) -> FunctionDef:
+        """Look up a function definition by name (raises ``KeyError``)."""
+        for fn in self.functions:
+            if fn.name == name:
+                return fn
+        raise KeyError(name)

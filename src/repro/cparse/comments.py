@@ -1,0 +1,75 @@
+"""Comment extraction.
+
+The main lexer discards comments; barrier-pairing verification (§8)
+needs them — kernel developers document barrier intent in comments like
+``/* paired with smp_rmb() in foo() */``.  This scanner walks the raw
+source (string- and char-literal aware) and returns every comment with
+its location.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Comment:
+    """One source comment."""
+
+    text: str
+    line: int
+    #: Line of the last physical line the comment spans.
+    end_line: int
+    is_block: bool
+
+
+def extract_comments(source: str, filename: str = "<source>") -> list[Comment]:
+    """All comments in ``source`` in order of appearance."""
+    comments: list[Comment] = []
+    i = 0
+    line = 1
+    length = len(source)
+    while i < length:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+        elif ch in ('"', "'"):
+            quote = ch
+            i += 1
+            while i < length and source[i] != quote:
+                if source[i] == "\\":
+                    i += 1
+                if i < length and source[i] == "\n":
+                    line += 1
+                i += 1
+            i += 1
+        elif ch == "/" and i + 1 < length and source[i + 1] == "/":
+            start = i + 2
+            while i < length and source[i] != "\n":
+                i += 1
+            comments.append(
+                Comment(source[start:i].strip(), line, line, is_block=False)
+            )
+        elif ch == "/" and i + 1 < length and source[i + 1] == "*":
+            start_line = line
+            i += 2
+            start = i
+            while i + 1 < length and not (
+                source[i] == "*" and source[i + 1] == "/"
+            ):
+                if source[i] == "\n":
+                    line += 1
+                i += 1
+            body = source[start:i]
+            text = " ".join(
+                piece.strip().lstrip("*").strip()
+                for piece in body.splitlines()
+            ).strip()
+            comments.append(
+                Comment(text, start_line, line, is_block=True)
+            )
+            i += 2
+        else:
+            i += 1
+    return comments

@@ -1,0 +1,271 @@
+"""Struct registry and expression type inference.
+
+OFence identifies shared objects by ``(typeof(struct), nameof(field))``
+tuples, so the only type question the analysis ever asks is *which struct
+type does the object expression of a member access have?*  This module
+answers it: it registers struct definitions and typedefs from parsed
+translation units, tracks local/parameter/global declarations, and infers
+the struct type of arbitrary object expressions (``a->b``, ``(*p).c``,
+``x.arr[i].f``, casts, known-function return values, ...).
+
+Unknown types degrade gracefully to :data:`UNKNOWN_STRUCT`, never to an
+exception — matching how Smatch tolerates partially-typed kernel code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cparse import astnodes as ast
+
+#: Placeholder used when the struct type of an access cannot be resolved.
+UNKNOWN_STRUCT = "<unknown>"
+
+
+@dataclass(frozen=True)
+class CType:
+    """A resolved type: base name plus pointer/array depth.
+
+    ``name`` is either a builtin ("int", "unsigned long"), a struct tag in
+    the form ``struct foo``, or :data:`UNKNOWN_STRUCT`.
+    """
+
+    name: str = UNKNOWN_STRUCT
+    pointers: int = 0
+    array_dims: int = 0
+
+    @property
+    def is_struct(self) -> bool:
+        return self.name.startswith("struct ")
+
+    @property
+    def struct_tag(self) -> str:
+        """`struct foo` -> `foo`; non-structs return UNKNOWN_STRUCT."""
+        if self.is_struct:
+            return self.name[len("struct "):]
+        return UNKNOWN_STRUCT
+
+    def deref(self) -> CType:
+        """Type after one `*` or `[i]`."""
+        if self.array_dims:
+            return CType(self.name, self.pointers, self.array_dims - 1)
+        if self.pointers:
+            return CType(self.name, self.pointers - 1, 0)
+        return self
+
+    def addr(self) -> CType:
+        return CType(self.name, self.pointers + 1, self.array_dims)
+
+
+UNKNOWN_TYPE = CType()
+
+
+@dataclass
+class StructInfo:
+    """Field table of one struct definition."""
+
+    name: str
+    fields: dict[str, CType] = field(default_factory=dict)
+
+
+class TypeRegistry:
+    """Aggregates type knowledge across translation units.
+
+    The registry is populated per analyzed file (plus its headers) and
+    queried by the access extractor.  Conflicting re-definitions keep the
+    first definition, which matches how a per-file analysis behaves.
+    """
+
+    def __init__(self) -> None:
+        self._structs: dict[str, StructInfo] = {}
+        self._typedefs: dict[str, CType] = {}
+        self._function_returns: dict[str, CType] = {}
+        self._globals: dict[str, CType] = {}
+
+    # -- population ----------------------------------------------------------
+
+    def add_unit(self, unit: ast.TranslationUnit) -> None:
+        """Register all structs, typedefs, globals and functions of a unit."""
+        for typedef in unit.typedefs:
+            self._typedefs.setdefault(
+                typedef.name,
+                CType(typedef.base_type, typedef.pointers),
+            )
+        for struct in unit.structs:
+            self.add_struct(struct)
+        for fn in unit.functions:
+            base = fn.return_type
+            if fn.return_is_struct and not base.startswith("struct "):
+                base = f"struct {base}"
+            self._function_returns.setdefault(
+                fn.name, self.resolve(base, fn.return_pointers)
+            )
+        for decl in unit.globals:
+            if decl.decl is None:
+                continue
+            base = decl.decl.type_name
+            for declarator in decl.decl.declarators:
+                self._globals.setdefault(
+                    declarator.name,
+                    self.resolve(base, declarator.pointers,
+                                 declarator.array_dims),
+                )
+
+    def add_struct(self, struct: ast.StructDef) -> None:
+        if struct.name in self._structs or not struct.name:
+            return
+        info = StructInfo(struct.name)
+        for sf in struct.fields:
+            info.fields[sf.name] = self.resolve(
+                sf.type_name, sf.pointers, sf.array_dims
+            )
+        self._structs[struct.name] = info
+
+    # -- queries --------------------------------------------------------------
+
+    def resolve(self, name: str, pointers: int = 0, array_dims: int = 0) -> CType:
+        """Resolve a spelled type through typedef chains."""
+        seen: set[str] = set()
+        while name in self._typedefs and name not in seen:
+            seen.add(name)
+            alias = self._typedefs[name]
+            pointers += alias.pointers
+            name = alias.name
+        return CType(name, pointers, array_dims)
+
+    def struct_info(self, tag: str) -> StructInfo | None:
+        if tag.startswith("struct "):
+            tag = tag[len("struct "):]
+        return self._structs.get(tag)
+
+    def field_type(self, struct_name: str, field_name: str) -> CType:
+        info = self.struct_info(struct_name)
+        if info is None:
+            return UNKNOWN_TYPE
+        return info.fields.get(field_name, UNKNOWN_TYPE)
+
+    def function_return(self, name: str) -> CType:
+        return self._function_returns.get(name, UNKNOWN_TYPE)
+
+    def global_type(self, name: str) -> CType:
+        return self._globals.get(name, UNKNOWN_TYPE)
+
+    def known_structs(self) -> list[str]:
+        return sorted(self._structs)
+
+
+class Scope:
+    """Lexically-nested variable scopes for a function body walk."""
+
+    def __init__(self, registry: TypeRegistry):
+        self._registry = registry
+        self._frames: list[dict[str, CType]] = [{}]
+
+    def push(self) -> None:
+        self._frames.append({})
+
+    def pop(self) -> None:
+        if len(self._frames) > 1:
+            self._frames.pop()
+
+    def declare(self, name: str, ctype: CType) -> None:
+        self._frames[-1][name] = ctype
+
+    def declare_param(self, param: ast.Param) -> None:
+        base = param.type_name
+        if param.is_struct and not base.startswith("struct "):
+            base = f"struct {base}"
+        self.declare(param.name, self._registry.resolve(base, param.pointers))
+
+    def declare_decl(self, decl: ast.DeclStmt) -> None:
+        base = decl.type_name
+        if decl.is_struct and not base.startswith("struct "):
+            base = f"struct {base}"
+        for declarator in decl.declarators:
+            self.declare(
+                declarator.name,
+                self._registry.resolve(base, declarator.pointers,
+                                       declarator.array_dims),
+            )
+
+    def lookup(self, name: str) -> CType:
+        for frame in reversed(self._frames):
+            if name in frame:
+                return frame[name]
+        return self._registry.global_type(name)
+
+
+class TypeInferencer:
+    """Infers the :class:`CType` of expressions."""
+
+    def __init__(self, registry: TypeRegistry, scope: Scope):
+        self._registry = registry
+        self._scope = scope
+
+    def infer(self, expr: ast.Expr | None) -> CType:
+        if expr is None:
+            return UNKNOWN_TYPE
+        if isinstance(expr, ast.Ident):
+            return self._scope.lookup(expr.name)
+        if isinstance(expr, ast.Member):
+            obj_type = self.infer(expr.obj)
+            if expr.arrow:
+                obj_type = obj_type.deref()
+            return self._registry.field_type(obj_type.name, expr.fieldname)
+        if isinstance(expr, ast.Index):
+            return self.infer(expr.obj).deref()
+        if isinstance(expr, ast.Unary):
+            if expr.op == "*" and expr.prefix:
+                return self.infer(expr.operand).deref()
+            if expr.op == "&" and expr.prefix:
+                return self.infer(expr.operand).addr()
+            return self.infer(expr.operand)
+        if isinstance(expr, ast.Cast):
+            return self._registry.resolve(expr.type_name, expr.pointers)
+        if isinstance(expr, ast.Call):
+            name = expr.callee_name
+            if name == "container_of" and len(expr.args) >= 2:
+                # container_of(ptr, struct foo, member) -> struct foo *
+                type_arg = expr.args[1]
+                if isinstance(type_arg, ast.Ident):
+                    return self._registry.resolve(type_arg.name, pointers=1)
+                return UNKNOWN_TYPE
+            if name is not None:
+                return self._registry.function_return(name)
+            return UNKNOWN_TYPE
+        if isinstance(expr, ast.Assign):
+            return self.infer(expr.target)
+        if isinstance(expr, ast.Ternary):
+            then_type = self.infer(expr.then)
+            if then_type is not UNKNOWN_TYPE and then_type.name != UNKNOWN_STRUCT:
+                return then_type
+            return self.infer(expr.other)
+        if isinstance(expr, ast.CommaExpr) and expr.parts:
+            return self.infer(expr.parts[-1])
+        if isinstance(expr, ast.Binary):
+            # Pointer arithmetic keeps the pointer type.
+            lhs = self.infer(expr.lhs)
+            if lhs.pointers or lhs.array_dims:
+                return lhs
+            rhs = self.infer(expr.rhs)
+            if rhs.pointers or rhs.array_dims:
+                return rhs
+            if lhs.name != UNKNOWN_STRUCT:
+                return lhs
+            return rhs
+        if isinstance(expr, ast.Number):
+            return CType("int")
+        if isinstance(expr, ast.String):
+            return CType("char", pointers=1)
+        if isinstance(expr, ast.CharLit):
+            return CType("char")
+        return UNKNOWN_TYPE
+
+    def struct_of_member(self, member: ast.Member) -> str:
+        """The struct tag owning ``member``'s field, or UNKNOWN_STRUCT."""
+        obj_type = self.infer(member.obj)
+        if member.arrow:
+            obj_type = obj_type.deref()
+        if obj_type.is_struct:
+            return obj_type.struct_tag
+        return UNKNOWN_STRUCT

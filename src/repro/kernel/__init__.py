@@ -1,0 +1,48 @@
+"""Kernel knowledge base.
+
+Static analyses over the Linux kernel rely on curated lists of primitives
+(the paper: "maintaining a list of functions to detect patterns is common
+in static analysis").  This package holds those lists:
+
+* :mod:`repro.kernel.barriers` — Table 1, the eight explicit barrier
+  primitives and their read/write classification;
+* :mod:`repro.kernel.semantics` — Table 2, which atomics/bitops/wake-up
+  functions carry implicit barrier semantics;
+* :mod:`repro.kernel.wakeups` — IPC / wake-up calls treated as implicit
+  read barriers during pairing;
+* :mod:`repro.kernel.config` — the kernel-config model deciding which
+  corpus files compile (the paper analyzed 614 of 669 files under an
+  Ubuntu config).
+"""
+
+from repro.kernel.barriers import (
+    BARRIER_PRIMITIVES,
+    BarrierKind,
+    BarrierSpec,
+    barrier_spec,
+    is_barrier_call,
+)
+from repro.kernel.config import KernelConfig, default_config
+from repro.kernel.semantics import (
+    FUNCTION_SEMANTICS,
+    FunctionSemantics,
+    has_barrier_semantics,
+    semantics_of,
+)
+from repro.kernel.wakeups import WAKEUP_FUNCTIONS, is_wakeup_call
+
+__all__ = [
+    "BARRIER_PRIMITIVES",
+    "BarrierKind",
+    "BarrierSpec",
+    "barrier_spec",
+    "is_barrier_call",
+    "FUNCTION_SEMANTICS",
+    "FunctionSemantics",
+    "has_barrier_semantics",
+    "semantics_of",
+    "WAKEUP_FUNCTIONS",
+    "is_wakeup_call",
+    "KernelConfig",
+    "default_config",
+]

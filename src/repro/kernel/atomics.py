@@ -1,0 +1,138 @@
+"""The kernel's atomic API family, generated systematically.
+
+The paper (§4.1): "The kernel offers more than 400 primitives to perform
+atomic operations on integers ... Some atomic operations act as memory
+barriers but some do not."  The kernel's rules (Documentation/
+atomic_t.txt) are regular enough to generate:
+
+* non-RMW ops (``atomic_read``, ``atomic_set``) — no ordering;
+* void RMW ops (``atomic_add``, ``atomic_inc`` ...) — no ordering;
+* value-returning RMW ops (``atomic_add_return``, ``atomic_fetch_add``,
+  ``atomic_xchg``, ``atomic_cmpxchg``, ``atomic_inc_and_test`` ...) —
+  **fully ordered**;
+* ``_relaxed`` variants — no ordering;
+* ``_acquire`` / ``_release`` variants — acquire/release ordering;
+* conditional RMW ops (``atomic_add_unless`` ...) — ordered on success.
+
+The same scheme spans the ``atomic_``, ``atomic64_`` and
+``atomic_long_`` prefixes, which is how the kernel reaches its 400+
+primitives.  :func:`ordering_of` answers ordering queries for any name
+in the family; :data:`ATOMIC_ORDERING` materializes the full table.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Ordering(enum.Enum):
+    """Memory-ordering strength of a primitive."""
+
+    NONE = "none"
+    ACQUIRE = "acquire"
+    RELEASE = "release"
+    FULL = "full"
+
+    @property
+    def implies_barrier(self) -> bool:
+        """Does the op bound an OFence exploration window / subsume an
+        adjacent explicit barrier?  Acquire/release are treated as
+        barriers for window-bounding purposes, like the kernel's
+        smp_load_acquire/smp_store_release."""
+        return self is not Ordering.NONE
+
+
+#: ``raw_atomic_*`` mirrors every op (include/linux/atomic/
+#: atomic-arch-fallback.h), which is how the kernel exceeds 400
+#: primitives.
+_PREFIXES = (
+    "atomic_", "atomic64_", "atomic_long_",
+    "raw_atomic_", "raw_atomic64_", "raw_atomic_long_",
+)
+
+#: Base RMW operations (void form has no ordering).
+_VOID_RMW = ("add", "sub", "inc", "dec", "and", "or", "xor", "andnot")
+
+#: Value-returning shapes derived from the void ops (fully ordered).
+_RETURNING_SHAPES = ("{op}_return", "fetch_{op}")
+
+#: Standalone value-returning ops (fully ordered).
+_STANDALONE_RETURNING = ("xchg", "cmpxchg", "try_cmpxchg")
+
+#: Predicate RMW ops (fully ordered).
+_PREDICATE = (
+    "sub_and_test", "dec_and_test", "inc_and_test", "add_negative",
+)
+
+#: Conditional RMW ops (ordered on success).
+_CONDITIONAL = (
+    "add_unless", "inc_not_zero", "inc_unless_negative",
+    "dec_unless_positive", "dec_if_positive", "fetch_add_unless",
+)
+
+#: Ordering-variant suffixes and the strength they select.
+_SUFFIXES: dict[str, Ordering] = {
+    "": Ordering.FULL,
+    "_acquire": Ordering.ACQUIRE,
+    "_release": Ordering.RELEASE,
+    "_relaxed": Ordering.NONE,
+}
+
+
+def _generate() -> dict[str, Ordering]:
+    table: dict[str, Ordering] = {}
+    for prefix in _PREFIXES:
+        # Non-RMW.
+        table[f"{prefix}read"] = Ordering.NONE
+        table[f"{prefix}set"] = Ordering.NONE
+        table[f"{prefix}read_acquire"] = Ordering.ACQUIRE
+        table[f"{prefix}set_release"] = Ordering.RELEASE
+
+        # Void RMW: never ordered, no variants.
+        for op in _VOID_RMW:
+            table[f"{prefix}{op}"] = Ordering.NONE
+
+        # Value-returning RMW with ordering variants.
+        returning = [
+            shape.format(op=op)
+            for op in _VOID_RMW
+            for shape in _RETURNING_SHAPES
+        ]
+        returning += list(_STANDALONE_RETURNING)
+        returning += list(_PREDICATE)
+        returning += list(_CONDITIONAL)
+        for base in returning:
+            for suffix, ordering in _SUFFIXES.items():
+                if base in _PREDICATE and suffix:
+                    continue  # predicates exist only fully ordered
+                table[f"{prefix}{base}{suffix}"] = ordering
+    return table
+
+
+#: name -> ordering, for every primitive of the family (1000+ entries —
+#: the kernel's "more than 400" counted per-prefix).
+ATOMIC_ORDERING: dict[str, Ordering] = _generate()
+
+
+def is_atomic_primitive(name: str) -> bool:
+    """Is ``name`` part of the generated atomic family?"""
+    return name in ATOMIC_ORDERING
+
+
+def ordering_of(name: str) -> Ordering | None:
+    """Ordering strength of an atomic primitive, or None if unknown."""
+    return ATOMIC_ORDERING.get(name)
+
+
+def implies_full_barrier(name: str) -> bool:
+    return ATOMIC_ORDERING.get(name) is Ordering.FULL
+
+
+def implies_any_barrier(name: str) -> bool:
+    ordering = ATOMIC_ORDERING.get(name)
+    return ordering is not None and ordering.implies_barrier
+
+
+def family_size() -> int:
+    """Number of generated primitives (paper: "more than 400")."""
+    return len(ATOMIC_ORDERING)

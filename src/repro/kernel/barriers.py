@@ -1,0 +1,107 @@
+"""Table 1 — the explicit memory-barrier primitives of the Linux kernel.
+
+Each primitive is described by a :class:`BarrierSpec`:
+
+* whether it orders reads, writes, or both;
+* whether the call itself performs an access (``smp_store_release`` writes
+  its first argument; ``smp_load_acquire`` reads it) and on which side of
+  the implied barrier that access sits;
+* the "before/after atomic" variants that upgrade an adjacent atomic
+  operation into a barrier.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class BarrierKind(enum.Enum):
+    """What a barrier orders."""
+
+    READ = "read"        # smp_rmb: orders reads only
+    WRITE = "write"      # smp_wmb: orders writes only
+    FULL = "full"        # smp_mb: orders reads and writes
+
+    @property
+    def orders_reads(self) -> bool:
+        return self in (BarrierKind.READ, BarrierKind.FULL)
+
+    @property
+    def orders_writes(self) -> bool:
+        return self in (BarrierKind.WRITE, BarrierKind.FULL)
+
+
+class ImpliedAccess(enum.Enum):
+    """Memory access performed by the primitive itself."""
+
+    NONE = "none"
+    #: Writes its argument *before* the implied barrier (smp_store_mb).
+    STORE_BEFORE = "store-before"
+    #: Writes its argument *after* the implied barrier (smp_store_release).
+    STORE_AFTER = "store-after"
+    #: Reads its argument *before* the implied barrier (smp_load_acquire).
+    LOAD_BEFORE = "load-before"
+
+
+@dataclass(frozen=True)
+class BarrierSpec:
+    """Static description of one barrier primitive."""
+
+    name: str
+    kind: BarrierKind
+    description: str
+    implied_access: ImpliedAccess = ImpliedAccess.NONE
+    #: True for smp_mb__before_atomic / smp_mb__after_atomic, which only
+    #: act as barriers when adjacent to an atomic operation.
+    atomic_modifier: bool = False
+
+    @property
+    def is_write_barrier(self) -> bool:
+        """Used for the pairing algorithm, which starts from write barriers."""
+        return self.kind.orders_writes
+
+    @property
+    def is_read_barrier(self) -> bool:
+        return self.kind.orders_reads
+
+
+#: Table 1 of the paper, verbatim.
+BARRIER_PRIMITIVES: dict[str, BarrierSpec] = {
+    spec.name: spec
+    for spec in (
+        BarrierSpec("smp_rmb", BarrierKind.READ, "Orders reads"),
+        BarrierSpec("smp_wmb", BarrierKind.WRITE, "Orders writes"),
+        BarrierSpec("smp_mb", BarrierKind.FULL, "Orders reads and writes"),
+        BarrierSpec(
+            "smp_store_mb", BarrierKind.FULL, "Write + smp_mb",
+            implied_access=ImpliedAccess.STORE_BEFORE,
+        ),
+        BarrierSpec(
+            "smp_store_release", BarrierKind.FULL, "smp_mb + write",
+            implied_access=ImpliedAccess.STORE_AFTER,
+        ),
+        BarrierSpec(
+            "smp_load_acquire", BarrierKind.FULL, "Read + smp_mb",
+            implied_access=ImpliedAccess.LOAD_BEFORE,
+        ),
+        BarrierSpec(
+            "smp_mb__before_atomic", BarrierKind.FULL,
+            "Barrier before atomic_*()", atomic_modifier=True,
+        ),
+        BarrierSpec(
+            "smp_mb__after_atomic", BarrierKind.FULL,
+            "Barrier after atomic_*()", atomic_modifier=True,
+        ),
+    )
+}
+
+
+def barrier_spec(name: str) -> BarrierSpec | None:
+    """The :class:`BarrierSpec` of a function name, or None."""
+    return BARRIER_PRIMITIVES.get(name)
+
+
+def is_barrier_call(name: str) -> bool:
+    """True when ``name`` is one of the eight explicit barrier primitives."""
+    return name in BARRIER_PRIMITIVES

@@ -1,0 +1,239 @@
+"""Table 2 — which kernel helper functions carry barrier semantics.
+
+The kernel offers hundreds of atomic/bitop primitives; some imply full
+memory-barrier semantics (every value-returning atomic RMW does), some do
+not (void atomics, plain bitops).  OFence uses this table in two places:
+
+* §5.1 — a barrier immediately followed by a function that already has
+  barrier semantics is *unneeded*;
+* §4.2 — the exploration window around a barrier is bounded at atomic
+  operations that have barrier semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FunctionSemantics:
+    """Concurrency-relevant semantics of one kernel helper."""
+
+    name: str
+    compiler_barrier: bool
+    memory_barrier: bool
+    description: str
+    is_atomic: bool = False
+    is_bitop: bool = False
+    is_wakeup: bool = False
+    #: Does the helper read and/or write its target object?
+    reads: bool = False
+    writes: bool = False
+
+
+def _spec(name: str, cb: bool, mb: bool, desc: str, **kw) -> FunctionSemantics:
+    return FunctionSemantics(name, cb, mb, desc, **kw)
+
+
+#: Table 2 entries plus the wider family they exemplify.  Following the
+#: kernel's rule: value-returning atomic read-modify-write operations are
+#: fully ordered; void atomics and plain bitops are not.
+FUNCTION_SEMANTICS: dict[str, FunctionSemantics] = {
+    s.name: s
+    for s in (
+        # -- Table 2, verbatim ------------------------------------------------
+        _spec("atomic_inc", False, False,
+              "Not a barrier on some architectures",
+              is_atomic=True, reads=True, writes=True),
+        _spec("atomic_inc_and_test", True, True, "Always a barrier",
+              is_atomic=True, reads=True, writes=True),
+        _spec("set_bit", False, False, "Not a barrier",
+              is_bitop=True, reads=True, writes=True),
+        _spec("test_and_set_bit", True, True, "Always a barrier",
+              is_bitop=True, reads=True, writes=True),
+        _spec("wake_up_process", True, True, "Always a barrier",
+              is_wakeup=True),
+        # -- void atomics (no barrier) ------------------------------------------
+        _spec("atomic_dec", False, False, "Void atomic: no barrier",
+              is_atomic=True, reads=True, writes=True),
+        _spec("atomic_add", False, False, "Void atomic: no barrier",
+              is_atomic=True, reads=True, writes=True),
+        _spec("atomic_sub", False, False, "Void atomic: no barrier",
+              is_atomic=True, reads=True, writes=True),
+        _spec("atomic_set", False, False, "Void atomic: no barrier",
+              is_atomic=True, writes=True),
+        _spec("atomic_read", False, False, "Void atomic: no barrier",
+              is_atomic=True, reads=True),
+        _spec("atomic64_inc", False, False, "Void atomic: no barrier",
+              is_atomic=True, reads=True, writes=True),
+        _spec("atomic64_read", False, False, "Void atomic: no barrier",
+              is_atomic=True, reads=True),
+        _spec("atomic64_set", False, False, "Void atomic: no barrier",
+              is_atomic=True, writes=True),
+        # -- value-returning atomic RMW (fully ordered) ---------------------------
+        _spec("atomic_dec_and_test", True, True,
+              "Value-returning RMW: fully ordered",
+              is_atomic=True, reads=True, writes=True),
+        _spec("atomic_sub_and_test", True, True,
+              "Value-returning RMW: fully ordered",
+              is_atomic=True, reads=True, writes=True),
+        _spec("atomic_add_return", True, True,
+              "Value-returning RMW: fully ordered",
+              is_atomic=True, reads=True, writes=True),
+        _spec("atomic_sub_return", True, True,
+              "Value-returning RMW: fully ordered",
+              is_atomic=True, reads=True, writes=True),
+        _spec("atomic_inc_return", True, True,
+              "Value-returning RMW: fully ordered",
+              is_atomic=True, reads=True, writes=True),
+        _spec("atomic_dec_return", True, True,
+              "Value-returning RMW: fully ordered",
+              is_atomic=True, reads=True, writes=True),
+        _spec("atomic_fetch_add", True, True,
+              "Value-returning RMW: fully ordered",
+              is_atomic=True, reads=True, writes=True),
+        _spec("atomic_fetch_sub", True, True,
+              "Value-returning RMW: fully ordered",
+              is_atomic=True, reads=True, writes=True),
+        _spec("atomic_xchg", True, True,
+              "Value-returning RMW: fully ordered",
+              is_atomic=True, reads=True, writes=True),
+        _spec("atomic_cmpxchg", True, True,
+              "Value-returning RMW: fully ordered",
+              is_atomic=True, reads=True, writes=True),
+        _spec("atomic_inc_unless", True, True,
+              "Conditional RMW: fully ordered on success",
+              is_atomic=True, reads=True, writes=True),
+        _spec("atomic_add_unless", True, True,
+              "Conditional RMW: fully ordered on success",
+              is_atomic=True, reads=True, writes=True),
+        _spec("xchg", True, True, "Exchange: fully ordered",
+              is_atomic=True, reads=True, writes=True),
+        _spec("cmpxchg", True, True, "Compare-exchange: fully ordered",
+              is_atomic=True, reads=True, writes=True),
+        # -- bitops -------------------------------------------------------------
+        _spec("clear_bit", False, False, "Not a barrier",
+              is_bitop=True, reads=True, writes=True),
+        _spec("change_bit", False, False, "Not a barrier",
+              is_bitop=True, reads=True, writes=True),
+        _spec("test_bit", False, False, "Plain read: not a barrier",
+              is_bitop=True, reads=True),
+        _spec("test_and_clear_bit", True, True, "Always a barrier",
+              is_bitop=True, reads=True, writes=True),
+        _spec("test_and_change_bit", True, True, "Always a barrier",
+              is_bitop=True, reads=True, writes=True),
+        _spec("clear_bit_unlock", True, True, "Release ordering",
+              is_bitop=True, reads=True, writes=True),
+        # -- wake-up / IPC helpers (see also repro.kernel.wakeups) ---------------
+        _spec("wake_up", True, True, "Wakeup: implies a full barrier",
+              is_wakeup=True),
+        _spec("wake_up_all", True, True, "Wakeup: implies a full barrier",
+              is_wakeup=True),
+        _spec("wake_up_interruptible", True, True,
+              "Wakeup: implies a full barrier", is_wakeup=True),
+        _spec("complete", True, True, "Completion: implies a full barrier",
+              is_wakeup=True),
+        _spec("complete_all", True, True,
+              "Completion: implies a full barrier", is_wakeup=True),
+        _spec("smp_call_function_many", True, True,
+              "Cross-CPU IPC: implies a full barrier", is_wakeup=True),
+        _spec("smp_call_function_single", True, True,
+              "Cross-CPU IPC: implies a full barrier", is_wakeup=True),
+        _spec("queue_work", True, True,
+              "Workqueue enqueue: implies a full barrier", is_wakeup=True),
+        _spec("schedule_work", True, True,
+              "Workqueue enqueue: implies a full barrier", is_wakeup=True),
+        # -- RCU (§1: APIs that rely on barriers for correctness) ----------------
+        _spec("rcu_assign_pointer", True, True,
+              "Release store: barrier then pointer write", writes=True),
+        _spec("rcu_dereference", True, True,
+              "Pointer read ordered before dependent accesses", reads=True),
+        _spec("rcu_dereference_protected", True, True,
+              "rcu_dereference under update-side lock", reads=True),
+        _spec("rcu_dereference_check", True, True,
+              "rcu_dereference with lockdep condition", reads=True),
+        _spec("synchronize_rcu", True, True,
+              "Grace-period wait: implies full barriers"),
+        _spec("synchronize_rcu_expedited", True, True,
+              "Expedited grace period: implies full barriers"),
+        _spec("call_rcu", False, False,
+              "Asynchronous callback registration: no barrier"),
+        _spec("rcu_read_lock", False, False,
+              "Read-side critical section entry: no barrier"),
+        _spec("rcu_read_unlock", False, False,
+              "Read-side critical section exit: no barrier"),
+        # -- seqcount interface (Listing 3) --------------------------------------
+        _spec("read_seqcount_begin", True, True,
+              "Reads the seqcount then issues smp_rmb", reads=True),
+        _spec("read_seqcount_retry", True, True,
+              "Issues smp_rmb then re-reads the seqcount", reads=True),
+        _spec("write_seqcount_begin", True, True,
+              "Increments the seqcount then issues smp_wmb",
+              reads=True, writes=True),
+        _spec("write_seqcount_end", True, True,
+              "Issues smp_wmb then increments the seqcount",
+              reads=True, writes=True),
+        _spec("xt_write_recseq_begin", True, True,
+              "Per-cpu recursive seqcount begin", reads=True, writes=True),
+        _spec("xt_write_recseq_end", True, True,
+              "Per-cpu recursive seqcount end", reads=True, writes=True),
+    )
+}
+
+
+def semantics_of(name: str) -> FunctionSemantics | None:
+    """Semantics record for a helper name.
+
+    Falls back to the systematically generated atomic family
+    (:mod:`repro.kernel.atomics`) for names outside the curated table.
+    """
+    spec = FUNCTION_SEMANTICS.get(name)
+    if spec is not None:
+        return spec
+    from repro.kernel.atomics import Ordering, ordering_of
+
+    ordering = ordering_of(name)
+    if ordering is None:
+        return None
+    reads = not _is_pure_set(name)
+    writes = not _is_pure_read(name)
+    return FunctionSemantics(
+        name=name,
+        compiler_barrier=ordering is not Ordering.NONE,
+        memory_barrier=ordering is Ordering.FULL,
+        description=f"Generated atomic primitive ({ordering.value})",
+        is_atomic=True,
+        reads=reads,
+        writes=writes,
+    )
+
+
+def _is_pure_read(name: str) -> bool:
+    return "read" in name and "fetch" not in name
+
+
+def _is_pure_set(name: str) -> bool:
+    return "set" in name and "test" not in name
+
+
+def has_barrier_semantics(name: str) -> bool:
+    """True when calling ``name`` already implies a full memory barrier."""
+    spec = FUNCTION_SEMANTICS.get(name)
+    if spec is not None:
+        return spec.memory_barrier
+    from repro.kernel.atomics import implies_full_barrier
+
+    return implies_full_barrier(name)
+
+
+def bounds_exploration_window(name: str) -> bool:
+    """Does a call to ``name`` bound an OFence exploration window (§4.2)?
+
+    Full barriers do; acquire/release atomics also order the accesses
+    around them, so the window stops there too.
+    """
+    if has_barrier_semantics(name):
+        return True
+    from repro.kernel.atomics import implies_any_barrier
+
+    return implies_any_barrier(name)

@@ -1,0 +1,38 @@
+"""IPC / wake-up functions treated as implicit read barriers (§3, §4.2).
+
+"When a write barrier is followed by an interprocess communication (IPC)
+call, we consider that the IPC call acts as an implicit read barrier."
+The woken thread is guaranteed to observe the writes that preceded the
+barrier, so the writer is left unpaired.
+"""
+
+from __future__ import annotations
+
+from repro.kernel.semantics import FUNCTION_SEMANTICS
+
+#: Wake-up / IPC calls recognised during pairing.  Derived from the
+#: semantics table plus scheduler entry points that do not imply a barrier
+#: themselves but still transfer control to a reader.
+WAKEUP_FUNCTIONS: frozenset[str] = frozenset(
+    {name for name, spec in FUNCTION_SEMANTICS.items() if spec.is_wakeup}
+    | {
+        "wake_up_interruptible_all",
+        "wake_up_interruptible_sync",
+        "wake_up_locked",
+        "wake_up_state",
+        "wake_up_q",
+        "swake_up_one",
+        "swake_up_all",
+        "rcuwait_wake_up",
+        "irq_work_queue",
+        "ipi_send_single",
+        "ipi_send_mask",
+        "resched_curr",
+        "kick_process",
+    }
+)
+
+
+def is_wakeup_call(name: str) -> bool:
+    """True when ``name`` is a known wake-up / IPC function."""
+    return name in WAKEUP_FUNCTIONS

@@ -1,0 +1,48 @@
+"""Litmus-test executor: an executable weak-memory model.
+
+Figures 1–3 of the paper explain *why* barrier placement matters: without
+fences, compilers and CPUs may reorder the memory accesses of each
+thread, letting a reader observe a partially-initialized object.  This
+package makes those semantics executable:
+
+* :mod:`repro.litmus.model` — threads as sequences of read/write/fence
+  events; the model enumerates every per-thread reordering permitted by
+  the fences (writes may cross anything but a write-ordering fence,
+  reads anything but a read-ordering fence, same-location order is
+  preserved) interleaved in every way, yielding the set of observable
+  outcomes;
+* :mod:`repro.litmus.extract` — builds a litmus test from an OFence
+  pairing (writer thread from the write-barrier window, reader thread
+  from the read-barrier window);
+* :mod:`repro.litmus.validate` — checks the §2 consistency criterion on
+  the outcome set: if the reader sees the new value of an object written
+  *after* the write barrier, it must see the new values of the objects
+  written *before* it.  Detected bugs admit inconsistent outcomes;
+  patched code must not.
+"""
+
+from repro.litmus.extract import litmus_from_pairing
+from repro.litmus.model import (
+    Fence,
+    LitmusTest,
+    Outcome,
+    Read,
+    Thread,
+    Write,
+    enumerate_outcomes,
+)
+from repro.litmus.validate import ValidationResult, inconsistent_outcomes, validate_pairing
+
+__all__ = [
+    "Read",
+    "Write",
+    "Fence",
+    "Thread",
+    "LitmusTest",
+    "Outcome",
+    "enumerate_outcomes",
+    "litmus_from_pairing",
+    "inconsistent_outcomes",
+    "validate_pairing",
+    "ValidationResult",
+]

@@ -1,0 +1,97 @@
+"""Building litmus tests from OFence pairings.
+
+The writer thread is reconstructed from the write barrier's window: the
+common objects it writes before the fence (new value 1), the fence, the
+common objects it writes after.  The reader thread mirrors it with the
+read barrier's window.  Event order within a side follows statement
+order (``stmt_id``), so a misplaced access lands exactly where the
+source put it.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.accesses import ObjectKey
+from repro.analysis.barrier_scan import BarrierSite
+from repro.kernel.barriers import BarrierKind
+from repro.litmus.model import Fence, FenceKind, LitmusTest, Read, Thread, Write
+from repro.pairing.model import Pairing
+
+_FENCE_KIND = {
+    BarrierKind.READ: FenceKind.READ,
+    BarrierKind.WRITE: FenceKind.WRITE,
+    BarrierKind.FULL: FenceKind.FULL,
+}
+
+
+def _location(key: ObjectKey) -> str:
+    return f"{key.struct}.{key.field}"
+
+
+def _writer_thread(site: BarrierSite, common: set[ObjectKey]) -> Thread:
+    events: list = []
+    for side in ("before", "after"):
+        seen: set[ObjectKey] = set()
+        side_events = []
+        for use in sorted(site.uses_on(side), key=lambda u: u.stmt_id):
+            if use.key not in common or not use.kind.writes:
+                continue
+            if use.inlined_from is not None or use.key in seen:
+                continue
+            seen.add(use.key)
+            side_events.append(Write(_location(use.key), 1))
+        events.extend(side_events)
+        if side == "before":
+            events.append(Fence(_FENCE_KIND[site.kind]))
+    return Thread(f"{site.function}", events)
+
+
+def _reader_thread(site: BarrierSite, common: set[ObjectKey]) -> Thread:
+    """Reader events in *statement order*, fence at the barrier.
+
+    Unlike the writer (where only the side matters), the reader keeps
+    every read occurrence: a racy re-read contributes a second Read
+    event whose observed value exposes the bug.
+    """
+    before: list = []
+    after: list = []
+    counters: dict[str, int] = {}
+    for side, bucket in (("before", before), ("after", after)):
+        for use in sorted(site.uses_on(side), key=lambda u: u.stmt_id):
+            if use.key not in common or not use.kind.reads:
+                continue
+            if use.inlined_from is not None:
+                continue
+            location = _location(use.key)
+            counters[location] = counters.get(location, 0) + 1
+            label = location if counters[location] == 1 else \
+                f"{location}#{counters[location]}"
+            bucket.append(Read(location, label=f"r({label})"))
+    events = before + [Fence(_FENCE_KIND[site.kind])] + after
+    return Thread(f"{site.function}", events)
+
+
+def litmus_from_pairing(
+    pairing: Pairing,
+    writer: BarrierSite | None = None,
+    reader: BarrierSite | None = None,
+    max_objects: int = 4,
+) -> LitmusTest:
+    """Extract the two-thread litmus test of a (single) pairing.
+
+    ``writer``/``reader`` default to the pairing's primary barriers.
+    ``max_objects`` caps the common objects used (state-space guard).
+    """
+    if writer is None or reader is None:
+        first, second = pairing.barriers[0], pairing.barriers[1]
+        if writer is None:
+            writer = first if first.is_write_barrier else second
+        if reader is None:
+            reader = second if writer is first else first
+    common = set(pairing.common_objects[:max_objects])
+    return LitmusTest(
+        threads=[
+            _writer_thread(writer, common),
+            _reader_thread(reader, common),
+        ],
+        name=f"{writer.function}|{reader.function}",
+    )

@@ -1,0 +1,249 @@
+"""Weak-memory litmus executor.
+
+The model captures the reordering semantics of §2:
+
+* within a thread, a **write fence** (``wmb``) keeps every earlier write
+  before every later write; a **read fence** (``rmb``) does the same for
+  reads; a **full fence** orders both;
+* accesses to the *same* location keep their program order (coherence —
+  a thread never reorders its own accesses to one variable);
+* any per-thread order satisfying those constraints may execute, and the
+  threads interleave arbitrarily.
+
+``enumerate_outcomes`` exhaustively explores all (reordering ×
+interleaving) combinations and returns the set of observable outcomes —
+one outcome maps each read event to the value it returned.  The model is
+exponential by design; litmus tests extracted from barrier windows have
+a handful of events, exactly like hand-written kernel litmus tests.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+
+
+class FenceKind(enum.Enum):
+    READ = "rmb"
+    WRITE = "wmb"
+    FULL = "mb"
+
+    @property
+    def orders_reads(self) -> bool:
+        return self in (FenceKind.READ, FenceKind.FULL)
+
+    @property
+    def orders_writes(self) -> bool:
+        return self in (FenceKind.WRITE, FenceKind.FULL)
+
+
+@dataclass(frozen=True)
+class Read:
+    """Read of ``location``; ``label`` names the event in outcomes."""
+
+    location: str
+    label: str = ""
+
+    def __post_init__(self):
+        if not self.label:
+            object.__setattr__(self, "label", f"r({self.location})")
+
+
+@dataclass(frozen=True)
+class Write:
+    location: str
+    value: int
+    label: str = ""
+
+    def __post_init__(self):
+        if not self.label:
+            object.__setattr__(
+                self, "label", f"w({self.location}={self.value})"
+            )
+
+
+@dataclass(frozen=True)
+class Fence:
+    kind: FenceKind = FenceKind.FULL
+    label: str = ""
+
+
+Event = "Read | Write | Fence"
+
+
+@dataclass
+class Thread:
+    """One thread's program: a list of events in program order."""
+
+    name: str
+    events: list = field(default_factory=list)
+
+    def reads(self) -> list[Read]:
+        return [e for e in self.events if isinstance(e, Read)]
+
+    def writes(self) -> list[Write]:
+        return [e for e in self.events if isinstance(e, Write)]
+
+    def legal_orders(self) -> list[list]:
+        """Every execution order of this thread's memory accesses that
+        the fences (and per-location coherence) allow.
+
+        Fences themselves do not access memory; they only induce
+        ordering constraints between the accesses around them.
+        """
+        accesses = [
+            e for e in self.events if not isinstance(e, Fence)
+        ]
+        constraints = self._ordering_constraints()
+        orders: list[list] = []
+        for perm in itertools.permutations(range(len(accesses))):
+            position = {index: rank for rank, index in enumerate(perm)}
+            if all(position[a] < position[b] for a, b in constraints):
+                orders.append([accesses[i] for i in perm])
+        return orders
+
+    def _ordering_constraints(self) -> set[tuple[int, int]]:
+        """(i, j) pairs meaning access i must execute before access j.
+
+        Indices are positions within the access-only list (fences
+        removed).
+        """
+        accesses: list = []
+        access_program_index: list[int] = []
+        for program_index, event in enumerate(self.events):
+            if not isinstance(event, Fence):
+                accesses.append(event)
+                access_program_index.append(program_index)
+
+        constraints: set[tuple[int, int]] = set()
+
+        # Coherence: same-location accesses keep program order.
+        for i in range(len(accesses)):
+            for j in range(i + 1, len(accesses)):
+                if accesses[i].location == accesses[j].location:
+                    constraints.add((i, j))
+
+        # Fences: earlier ordered-kind accesses before later ones.
+        for program_index, event in enumerate(self.events):
+            if not isinstance(event, Fence):
+                continue
+            for i, a in enumerate(accesses):
+                if access_program_index[i] > program_index:
+                    continue
+                if not self._ordered_by(a, event.kind):
+                    continue
+                for j, b in enumerate(accesses):
+                    if access_program_index[j] < program_index:
+                        continue
+                    if not self._ordered_by(b, event.kind):
+                        continue
+                    if i != j:
+                        constraints.add((i, j))
+        return constraints
+
+    @staticmethod
+    def _ordered_by(event, kind: FenceKind) -> bool:
+        if isinstance(event, Read):
+            return kind.orders_reads
+        return kind.orders_writes
+
+
+@dataclass
+class LitmusTest:
+    """Two (or more) threads over shared locations, all initially 0."""
+
+    threads: list[Thread]
+    initial: dict[str, int] = field(default_factory=dict)
+    name: str = "litmus"
+
+    def locations(self) -> set[str]:
+        out = set(self.initial)
+        for thread in self.threads:
+            for event in thread.events:
+                if not isinstance(event, Fence):
+                    out.add(event.location)
+        return out
+
+
+@dataclass(frozen=True)
+class Outcome:
+    """One observable outcome: read label -> value read."""
+
+    values: tuple
+
+    def value(self, label: str) -> int:
+        return dict(self.values)[label]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"{k}={v}" for k, v in self.values)
+        return f"Outcome({inner})"
+
+
+def _interleavings(orders: list[list]):
+    """All interleavings of the given per-thread sequences."""
+    if len(orders) == 1:
+        yield [(0, e) for e in orders[0]]
+        return
+    # Two-thread merge (the common case) generalized to N by recursion.
+    first, rest = orders[0], orders[1:]
+    for sub in _interleavings(rest):
+        tagged_first = [(0, e) for e in first]
+        shifted = [(tid + 1, e) for tid, e in sub]
+        yield from _merge(tagged_first, shifted)
+
+
+def _merge(a: list, b: list):
+    if not a:
+        yield list(b)
+        return
+    if not b:
+        yield list(a)
+        return
+    for tail in _merge(a[1:], b):
+        yield [a[0]] + tail
+    for tail in _merge(a, b[1:]):
+        yield [b[0]] + tail
+
+
+def enumerate_outcomes(test: LitmusTest, max_executions: int = 2_000_000) -> set[Outcome]:
+    """The set of observable outcomes of ``test``.
+
+    Raises :class:`RuntimeError` if the state space exceeds
+    ``max_executions`` (a guard against degenerate inputs; extracted
+    litmus tests are tiny).
+    """
+    per_thread_orders = [t.legal_orders() for t in test.threads]
+    outcomes: set[Outcome] = set()
+    executions = 0
+    for combo in itertools.product(*per_thread_orders):
+        for interleaving in _interleavings(list(combo)):
+            executions += 1
+            if executions > max_executions:
+                raise RuntimeError(
+                    f"litmus test too large ({executions} executions)"
+                )
+            memory = dict.fromkeys(test.locations(), 0)
+            memory.update(test.initial)
+            observed: list[tuple[str, int]] = []
+            for _tid, event in interleaving:
+                if isinstance(event, Write):
+                    memory[event.location] = event.value
+                else:
+                    observed.append((event.label, memory[event.location]))
+            outcomes.add(Outcome(tuple(sorted(observed))))
+    return outcomes
+
+
+def outcome_possible(test: LitmusTest, **expected: int) -> bool:
+    """Is there an outcome where each read label has the given value?
+
+    Labels use the default ``r(location)`` form unless events were
+    explicitly labelled.
+    """
+    for outcome in enumerate_outcomes(test):
+        values = dict(outcome.values)
+        if all(values.get(label) == value
+               for label, value in expected.items()):
+            return True
+    return False

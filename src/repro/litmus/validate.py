@@ -1,0 +1,135 @@
+"""Validating pairings/bugs against the §2 consistency criterion.
+
+"Barriers only enforce ordering constraints if the values written before
+the first barrier are read after the second barrier, and if the values
+written after the first barrier are read before the second barrier."
+
+Operationally: pick a *witness* object ``flag`` written after the write
+fence and a *payload* object written before it.  An outcome where any
+read of ``flag`` returns the new value while a read of ``payload``
+performed after the reader's fence returns the old value is
+**inconsistent** — the reader believed the initialization complete yet
+observed stale payload.  Correctly placed barriers exclude such
+outcomes; the bugs OFence finds admit them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.accesses import ObjectKey
+from repro.analysis.barrier_scan import BarrierSite
+from repro.litmus.extract import _location, litmus_from_pairing
+from repro.litmus.model import LitmusTest, Outcome, Read, enumerate_outcomes
+from repro.pairing.model import Pairing
+
+
+@dataclass
+class ValidationResult:
+    """Litmus validation of one pairing."""
+
+    test: LitmusTest
+    outcomes: set[Outcome]
+    inconsistent: list[Outcome] = field(default_factory=list)
+
+    @property
+    def is_consistent(self) -> bool:
+        return not self.inconsistent
+
+    def describe(self) -> str:
+        status = "consistent" if self.is_consistent else (
+            f"{len(self.inconsistent)} inconsistent outcome(s)"
+        )
+        return (
+            f"litmus {self.test.name}: {len(self.outcomes)} outcomes, "
+            f"{status}"
+        )
+
+
+def _flag_and_payload(
+    writer: BarrierSite, common: set[ObjectKey]
+) -> tuple[set[str], set[str]]:
+    """Locations written after (flags) / before (payloads) the fence."""
+    flags = {
+        _location(u.key)
+        for u in writer.uses_on("after")
+        if u.key in common and u.kind.writes and u.inlined_from is None
+    }
+    payloads = {
+        _location(u.key)
+        for u in writer.uses_on("before")
+        if u.key in common and u.kind.writes and u.inlined_from is None
+    }
+    return flags - payloads, payloads - flags
+
+
+def inconsistent_outcomes(
+    test: LitmusTest,
+    flags: set[str],
+    payloads: set[str],
+) -> list[Outcome]:
+    """Outcomes where a flag read new but a payload read old.
+
+    Only payload reads that the *reader's own program* placed after its
+    fence participate — a payload legitimately read before the fence
+    (e.g. a version pre-check) carries no expectation.
+    """
+    reader = test.threads[1]
+    post_fence_labels = _post_fence_read_labels(reader)
+    bad: list[Outcome] = []
+    for outcome in enumerate_outcomes(test):
+        values = dict(outcome.values)
+        flag_new = any(
+            values.get(label) == 1
+            for label, location in _read_labels(reader)
+            if location in flags
+        )
+        stale_payload = any(
+            values.get(label) == 0
+            for label, location in _read_labels(reader)
+            if location in payloads and label in post_fence_labels
+        )
+        if flag_new and stale_payload:
+            bad.append(outcome)
+    return bad
+
+
+def _read_labels(reader) -> list[tuple[str, str]]:
+    return [
+        (event.label, event.location)
+        for event in reader.events
+        if isinstance(event, Read)
+    ]
+
+
+def _post_fence_read_labels(reader) -> set[str]:
+    from repro.litmus.model import Fence
+
+    labels: set[str] = set()
+    seen_fence = False
+    for event in reader.events:
+        if isinstance(event, Fence):
+            seen_fence = True
+        elif isinstance(event, Read) and seen_fence:
+            labels.add(event.label)
+    return labels
+
+
+def validate_pairing(
+    pairing: Pairing,
+    writer: BarrierSite | None = None,
+    reader: BarrierSite | None = None,
+) -> ValidationResult:
+    """Enumerate the pairing's litmus outcomes and check consistency."""
+    test = litmus_from_pairing(pairing, writer=writer, reader=reader)
+    actual_writer = writer
+    if actual_writer is None:
+        first, second = pairing.barriers[0], pairing.barriers[1]
+        actual_writer = first if first.is_write_barrier else second
+    common = set(pairing.common_objects[:4])
+    flags, payloads = _flag_and_payload(actual_writer, common)
+    outcomes = enumerate_outcomes(test)
+    if not flags or not payloads:
+        return ValidationResult(test=test, outcomes=outcomes)
+    bad = inconsistent_outcomes(test, flags, payloads)
+    return ValidationResult(test=test, outcomes=outcomes, inconsistent=bad)

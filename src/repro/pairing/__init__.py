@@ -1,0 +1,13 @@
+"""Barrier pairing — the core contribution of the paper.
+
+:mod:`repro.pairing.algorithm` implements Algorithm 1: write barriers are
+paired with barriers that share at least two ordered objects, weighted by
+the product of statement distances; conflicts keep the lowest-weight
+pairing; unpaired barriers whose windows contain all common objects of an
+existing pairing join it (multi-barrier pairings, §5.3).
+"""
+
+from repro.pairing.algorithm import PairingEngine
+from repro.pairing.model import Pairing, PairingResult
+
+__all__ = ["PairingEngine", "Pairing", "PairingResult"]

@@ -1,0 +1,266 @@
+"""Algorithm 1 — pairing barriers via common shared objects.
+
+The implementation follows the paper's pseudocode:
+
+1. build a hashmap from shared-object keys to the barriers whose windows
+   contain them;
+2. for each *write* barrier, enumerate pairs of distinct objects in its
+   window, find the other barrier minimizing
+   ``weight = d(o1)·d(o2) (self) × d(o1)·d(o2) (candidate)``, and require
+   that at least one of the two barriers actually *orders* the pair (one
+   object before it, the other after);
+3. when a barrier appears in several candidate pairings, keep the one
+   with the lowest weight;
+4. grow each surviving pairing with unpaired barriers whose windows
+   contain all of the pairing's common objects (multi-barrier pairings).
+
+The IPC special case (§4.2) is applied before pairing: a write barrier
+whose nearest wake-up call is closer than its matched shared objects is
+left unpaired — the IPC acts as the implicit read barrier.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.analysis.accesses import ObjectKey
+from repro.analysis.barrier_scan import BarrierSite
+from repro.pairing.model import Pairing, PairingResult
+
+
+@dataclass
+class _Candidate:
+    writer: BarrierSite
+    match: BarrierSite
+    o1: ObjectKey
+    o2: ObjectKey
+    weight: float
+
+
+class PairingEngine:
+    """Pairs barrier sites collected across all analyzed files."""
+
+    def __init__(
+        self,
+        sites: list[BarrierSite],
+        min_common_objects: int = 2,
+        allow_same_function: bool = False,
+        include_unresolved: bool = False,
+        use_distance_weight: bool = True,
+        require_ordering: bool = True,
+    ):
+        """Create a pairing engine over ``sites``.
+
+        The last three parameters exist for ablation studies:
+
+        * ``min_common_objects=1`` pairs barriers sharing a *single*
+          object (the paper requires two);
+        * ``use_distance_weight=False`` takes the first candidate
+          instead of minimizing the distance product;
+        * ``require_ordering=False`` drops the requirement that one
+          barrier actually orders the object pair.
+        """
+        self._sites = sites
+        self._min_common = min_common_objects
+        self._allow_same_function = allow_same_function
+        self._include_unresolved = include_unresolved
+        self._use_distance_weight = use_distance_weight
+        self._require_ordering = require_ordering
+        self._obj_to_barriers: dict[ObjectKey, list[BarrierSite]] = defaultdict(list)
+        for site in sites:
+            for key in site.keys():
+                if include_unresolved or key.is_resolved:
+                    self._obj_to_barriers[key].append(site)
+
+    # -- public API ----------------------------------------------------------
+
+    def pair(self) -> PairingResult:
+        result = PairingResult()
+        candidates: list[_Candidate] = []
+        deferred_ipc: set[str] = set()
+
+        for site in self._sites:
+            if not site.is_write_barrier:
+                continue
+            best = self._best_candidate(site)
+            if best is None:
+                if site.wakeup_after is not None:
+                    deferred_ipc.add(site.barrier_id)
+                    result.implicit_ipc.append(site)
+                continue
+            if self._ipc_is_closer(site, best):
+                deferred_ipc.add(site.barrier_id)
+                result.implicit_ipc.append(site)
+                continue
+            candidates.append(best)
+
+        pairings = self._resolve(candidates)
+        self._extend_multi(pairings)
+        result.pairings = pairings
+
+        paired = result.paired_barriers
+        for site in self._sites:
+            if site.barrier_id not in paired and site.barrier_id not in deferred_ipc:
+                result.unpaired.append(site)
+        return result
+
+    # -- candidate search ------------------------------------------------------
+
+    def _best_candidate(self, site: BarrierSite) -> _Candidate | None:
+        best: _Candidate | None = None
+        for o1, o2, my_weight in self._candidate_object_pairs(site):
+            match, pair_weight = self._get_pair(site, o1, o2)
+            if match is None:
+                continue
+            if self._require_ordering and o1 != o2 and not (
+                site.orders(o1, o2) or match.orders(o1, o2)
+            ):
+                continue
+            weight = my_weight * pair_weight
+            if best is None or weight < best.weight:
+                best = _Candidate(site, match, o1, o2, weight)
+                if not self._use_distance_weight:
+                    return best  # ablation: first candidate wins
+        return best
+
+    def _candidate_object_pairs(self, site: BarrierSite):
+        yield from self._make_pairs(site)
+        if self._min_common < 2:
+            # Ablation: single-object candidates (o1 == o2).
+            keys: dict[ObjectKey, int] = {}
+            for use in site.uses:
+                if not self._include_unresolved and not use.key.is_resolved:
+                    continue
+                current = keys.get(use.key)
+                if current is None or use.distance < current:
+                    keys[use.key] = use.distance
+            for key, distance in sorted(
+                keys.items(), key=lambda kv: (kv[0].struct, kv[0].field)
+            ):
+                yield key, key, float(distance * distance)
+
+    def _make_pairs(self, site: BarrierSite):
+        """Distinct object-key pairs from a barrier's window, with the
+        product of their closest distances (``make_pairs`` in Algorithm 1)."""
+        keys: dict[ObjectKey, int] = {}
+        for use in site.uses:
+            if not self._include_unresolved and not use.key.is_resolved:
+                continue
+            current = keys.get(use.key)
+            if current is None or use.distance < current:
+                keys[use.key] = use.distance
+        items = sorted(keys.items(), key=lambda kv: (kv[0].struct, kv[0].field))
+        for i in range(len(items)):
+            for j in range(i + 1, len(items)):
+                (k1, d1), (k2, d2) = items[i], items[j]
+                yield k1, k2, float(d1 * d2)
+
+    def _get_pair(
+        self, site: BarrierSite, o1: ObjectKey, o2: ObjectKey
+    ) -> tuple[BarrierSite | None, float]:
+        """Other barriers whose windows contain both o1 and o2; pick the one
+        with the smallest distance product (``get_pair`` in Algorithm 1)."""
+        set1 = self._obj_to_barriers.get(o1, ())
+        set2 = {b.barrier_id for b in self._obj_to_barriers.get(o2, ())}
+        best: BarrierSite | None = None
+        best_weight = math.inf
+        for other in set1:
+            if other.barrier_id == site.barrier_id:
+                continue
+            if other.barrier_id not in set2:
+                continue
+            if not self._allow_same_function and (
+                other.filename == site.filename
+                and other.function == site.function
+            ):
+                continue
+            use1 = other.best_use(o1)
+            use2 = other.best_use(o2)
+            if use1 is None or use2 is None:
+                continue
+            weight = float(use1.distance * use2.distance)
+            if not self._use_distance_weight:
+                return other, weight  # ablation: first match wins
+            if weight < best_weight:
+                best, best_weight = other, weight
+        return best, best_weight
+
+    def _ipc_is_closer(self, site: BarrierSite, candidate: _Candidate) -> bool:
+        """§4.2: a wake-up call closer than the matched objects means the
+        barrier orders memory against the IPC, not against another barrier."""
+        if site.wakeup_after is None:
+            return False
+        wakeup_distance = site.wakeup_after[1]
+        use1 = site.best_use(candidate.o1)
+        use2 = site.best_use(candidate.o2)
+        closest_obj = min(
+            use.distance for use in (use1, use2) if use is not None
+        ) if (use1 or use2) else math.inf
+        return wakeup_distance < closest_obj
+
+    # -- conflict resolution and extension ------------------------------------------
+
+    def _resolve(self, candidates: list[_Candidate]) -> list[Pairing]:
+        """Keep, per barrier, only the lowest-weight pairing."""
+        taken: set[str] = set()
+        pairings: list[Pairing] = []
+        for cand in sorted(candidates, key=lambda c: c.weight):
+            if cand.writer.barrier_id in taken or cand.match.barrier_id in taken:
+                continue
+            taken.add(cand.writer.barrier_id)
+            taken.add(cand.match.barrier_id)
+            common = sorted(
+                self._common_keys(cand.writer, cand.match),
+                key=lambda k: (k.struct, k.field),
+            )
+            pairings.append(
+                Pairing(
+                    barriers=[cand.writer, cand.match],
+                    common_objects=common,
+                    weight=cand.weight,
+                )
+            )
+        return pairings
+
+    def _common_keys(
+        self, first: BarrierSite, second: BarrierSite
+    ) -> set[ObjectKey]:
+        keys = {
+            k for k in first.keys()
+            if self._include_unresolved or k.is_resolved
+        }
+        return keys & second.keys()
+
+    def _extend_multi(self, pairings: list[Pairing]) -> None:
+        """Grow pairings with other barriers containing all common objects
+        (lines 44-53 of Algorithm 1).
+
+        A barrier already paired elsewhere may still join when its window
+        contains the full common-object set — this is how the four
+        seqcount barriers of Figure 5 coalesce.  Pairings whose barrier
+        set ends up contained in another pairing are dropped afterwards.
+        """
+        for pairing in pairings:
+            needed = set(pairing.common_objects)
+            if not needed:
+                continue
+            member_ids = {b.barrier_id for b in pairing.barriers}
+            for site in self._sites:
+                if site.barrier_id in member_ids:
+                    continue
+                if needed <= site.keys():
+                    pairing.barriers.append(site)
+                    member_ids.add(site.barrier_id)
+        # Deduplicate: drop pairings subsumed by an earlier (lower-weight)
+        # pairing's barrier set.
+        kept: list[Pairing] = []
+        kept_sets: list[set[str]] = []
+        for pairing in sorted(pairings, key=lambda p: p.weight):
+            ids = {b.barrier_id for b in pairing.barriers}
+            if any(ids <= existing for existing in kept_sets):
+                continue
+            kept.append(pairing)
+            kept_sets.append(ids)
+        pairings[:] = kept

@@ -1,0 +1,12 @@
+"""Patch generation (§5.4).
+
+Findings become explanatory patches: a header documenting which shared
+objects paired the barriers and why the original code was erroneous,
+followed by a unified diff.  "The patches are thus easy to understand and
+to check for correctness."
+"""
+
+from repro.patching.generate import Patch, PatchGenerator
+from repro.patching.render import render_expr
+
+__all__ = ["Patch", "PatchGenerator", "render_expr"]

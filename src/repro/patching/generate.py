@@ -1,0 +1,259 @@
+"""Turns findings into explanatory patches.
+
+Each patch documents the pairing (which shared objects matched the
+barriers), the deviation, and why the original code was erroneous, then
+carries a unified diff implementing the fix:
+
+* ``MOVE_READ`` — the misplaced read statement is moved to the correct
+  side of the barrier (Patch 1 style);
+* ``REPLACE_BARRIER`` — the primitive is renamed (deviation #2);
+* ``REUSE_VALUE`` — the re-read expression is replaced by the variable
+  holding the initially read value (Patches 2 and 3);
+* ``REMOVE_BARRIER`` — the redundant barrier line is deleted (Patch 4);
+* ``ADD_ANNOTATION`` — the access is wrapped in READ_ONCE/WRITE_ONCE
+  (Patch 5).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from dataclasses import dataclass
+
+from repro.cfg.model import FunctionCFG, LinearStmt
+from repro.checkers.model import Finding, FixAction
+from repro.cparse import astnodes as ast
+from repro.patching.diff import SourceEditor, indentation_of, unified_diff
+from repro.patching.render import render_expr
+
+
+@dataclass
+class Patch:
+    """One generated patch (header + unified diff)."""
+
+    finding: Finding
+    filename: str
+    header: str
+    diff: str
+    new_source: str | None
+    #: False when the fix needs manual intervention (§5.4: "may require
+    #: manual intervention to fix styling issues").
+    applied: bool = True
+
+    def render(self) -> str:
+        return f"{self.header}\n{self.diff}" if self.diff else self.header
+
+
+class PatchGenerator:
+    """Generates patches against pristine per-file sources."""
+
+    def __init__(self, file_sources: dict[str, str], cfg_lookup=None):
+        self._sources = file_sources
+        self._cfg_lookup = cfg_lookup
+
+    def generate_all(self, findings: list[Finding]) -> list[Patch]:
+        patches = []
+        for finding in findings:
+            patch = self.generate(finding)
+            if patch is not None:
+                patches.append(patch)
+        return patches
+
+    def generate(self, finding: Finding) -> Patch | None:
+        source = self._sources.get(finding.filename)
+        if source is None:
+            return None
+        editor = SourceEditor(source)
+        handler = {
+            FixAction.MOVE_READ: self._fix_move_read,
+            FixAction.REPLACE_BARRIER: self._fix_replace_barrier,
+            FixAction.REUSE_VALUE: self._fix_reuse_value,
+            FixAction.REMOVE_BARRIER: self._fix_remove_barrier,
+            FixAction.ADD_ANNOTATION: self._fix_add_annotation,
+        }[finding.fix_action]
+        applied = handler(finding, editor)
+        header = self._header(finding, applied)
+        if not applied or not editor.dirty:
+            return Patch(finding, finding.filename, header, "", None,
+                         applied=False)
+        new_source = editor.result()
+        diff = unified_diff(source, new_source, finding.filename)
+        return Patch(finding, finding.filename, header, diff, new_source)
+
+    # -- header ---------------------------------------------------------------
+
+    def _header(self, finding: Finding, applied: bool) -> str:
+        lines = [
+            "# OFence-generated patch",
+            f"# Deviation: {finding.kind.value}",
+            f"# Location:  {finding.filename}:{finding.line} "
+            f"({finding.function})",
+        ]
+        if finding.pairing is not None:
+            members = ", ".join(
+                f"{b.function}:{b.primitive}@{b.line}"
+                for b in finding.pairing.barriers
+            )
+            objects = ", ".join(
+                str(key) for key in finding.pairing.common_objects
+            )
+            lines.append(f"# Pairing:   [{members}]")
+            lines.append(f"# Shared objects: {objects}")
+        lines.append(f"# Why: {finding.explanation}")
+        if not applied:
+            lines.append("# NOTE: automatic fix not applicable; manual "
+                         "intervention required.")
+        return "\n".join(lines)
+
+    # -- fix handlers --------------------------------------------------------------
+
+    def _fix_move_read(self, finding: Finding, editor: SourceEditor) -> bool:
+        if finding.use is None or finding.barrier is None:
+            return False
+        stmt = self._linear_stmt(finding)
+        if stmt is None:
+            return False
+        start, end = _statement_span(stmt)
+        if start <= finding.barrier.line <= end:
+            return False  # the read shares lines with the barrier: manual
+        moved = [editor.line(n) for n in range(start, end + 1)]
+        barrier_indent = indentation_of(editor.line(finding.barrier.line))
+        stmt_indent = indentation_of(moved[0])
+        reindented = [
+            barrier_indent + line[len(stmt_indent):]
+            if line.startswith(stmt_indent) else line
+            for line in moved
+        ]
+        for number in range(start, end + 1):
+            editor.delete_line(number)
+        move_to = finding.details.get("move_to", "before")
+        if move_to == "inside":
+            move_to = "before" if finding.use.side == "after" else "after"
+        if move_to == "before":
+            for line in reindented:
+                editor.insert_before(finding.barrier.line, line)
+        else:
+            for line in reversed(reindented):
+                editor.insert_after(finding.barrier.line, line)
+        return True
+
+    def _fix_replace_barrier(
+        self, finding: Finding, editor: SourceEditor
+    ) -> bool:
+        if finding.barrier is None:
+            return False
+        replacement = finding.details.get("replacement")
+        if not replacement:
+            return False
+        return editor.substitute_word(
+            finding.barrier.line, finding.barrier.primitive, replacement
+        )
+
+    def _fix_reuse_value(self, finding: Finding, editor: SourceEditor) -> bool:
+        if finding.use is None:
+            return False
+        captured = finding.details.get("captured", "")
+        if not captured:
+            return False
+        access_text = render_expr(finding.use.access.expr)
+        return editor.substitute(
+            finding.use.access.line, access_text, captured
+        )
+
+    def _fix_remove_barrier(
+        self, finding: Finding, editor: SourceEditor
+    ) -> bool:
+        if finding.barrier is None:
+            return False
+        line = editor.line(finding.barrier.line)
+        stripped = line.strip()
+        if stripped.startswith(finding.barrier.primitive) and \
+                stripped.endswith(";"):
+            editor.delete_line(finding.barrier.line)
+            return True
+        return editor.substitute(
+            finding.barrier.line, f"{finding.barrier.primitive}();", ""
+        )
+
+    def _fix_add_annotation(
+        self, finding: Finding, editor: SourceEditor
+    ) -> bool:
+        if finding.use is None:
+            return False
+        access = finding.use.access
+        text = render_expr(access.expr)
+        line_no = access.line
+        if access.kind.writes:
+            line = editor.line(line_no)
+            pattern = rf"{re.escape(text)}\s*=\s*(.+);"
+            match = re.search(pattern, line)
+            if match is None:
+                return False
+            replacement = f"WRITE_ONCE({text}, {match.group(1)});"
+            editor.replace_line(
+                line_no, line[: match.start()] + replacement
+                + line[match.end():],
+            )
+            return True
+        return editor.substitute(line_no, text, f"READ_ONCE({text})")
+
+    # -- helpers ------------------------------------------------------------------
+
+    def _linear_stmt(self, finding: Finding) -> LinearStmt | None:
+        if self._cfg_lookup is None or finding.use is None:
+            return None
+        cfg: FunctionCFG | None = self._cfg_lookup(
+            finding.filename, finding.barrier.function
+            if finding.barrier is not None else finding.function
+        )
+        if cfg is None or finding.use.stmt_id >= len(cfg.linear):
+            return None
+        return cfg.linear[finding.use.stmt_id]
+
+
+def _statement_span(stmt: LinearStmt) -> tuple[int, int]:
+    """Source-line span safe to move as a unit.
+
+    A guard (`if (...) return;`) moves with its body; other condition
+    pseudo-statements move only their own line.
+    """
+    node = stmt.node
+    if stmt.kind == "cond" and isinstance(node, ast.If):
+        if node.orelse is None and _is_simple(node.then):
+            return node.line, _max_line(node.then)
+        return node.line, node.line
+    if stmt.kind == "cond":
+        return node.line, node.line
+    return node.line, max(node.line, _max_line_expr(stmt))
+
+
+def _is_simple(stmt: ast.Stmt | None) -> bool:
+    if stmt is None:
+        return False
+    if isinstance(stmt, (ast.Return, ast.Goto, ast.ExprStmt, ast.Break,
+                         ast.Continue)):
+        return True
+    if isinstance(stmt, ast.Block) and len(stmt.stmts) == 1:
+        return _is_simple(stmt.stmts[0])
+    return False
+
+
+def _max_line(node) -> int:
+    """Largest line number in a node subtree."""
+    best = getattr(node, "line", 0)
+    if dataclasses.is_dataclass(node):
+        for field_info in dataclasses.fields(node):
+            value = getattr(node, field_info.name)
+            if isinstance(value, list):
+                for item in value:
+                    if dataclasses.is_dataclass(item):
+                        best = max(best, _max_line(item))
+            elif dataclasses.is_dataclass(value):
+                best = max(best, _max_line(value))
+    return best
+
+
+def _max_line_expr(stmt: LinearStmt) -> int:
+    if stmt.expr is not None:
+        return _max_line(stmt.expr)
+    return stmt.node.line

@@ -1,0 +1,83 @@
+"""Renders AST expressions back to C text.
+
+Used by the patch generator to locate access expressions in source lines
+(`a->field`) and to synthesize replacement text.  The renderer
+parenthesizes conservatively: the output is always valid C, though not
+always minimal.
+"""
+
+from __future__ import annotations
+
+from repro.cparse import astnodes as ast
+
+
+def render_expr(expr: ast.Expr | None) -> str:
+    """C text for an expression tree."""
+    if expr is None:
+        return ""
+    if isinstance(expr, ast.Ident):
+        return expr.name
+    if isinstance(expr, ast.Number):
+        return expr.text
+    if isinstance(expr, ast.String):
+        return expr.text
+    if isinstance(expr, ast.CharLit):
+        return expr.text
+    if isinstance(expr, ast.Member):
+        sep = "->" if expr.arrow else "."
+        return f"{_render_postfix_base(expr.obj)}{sep}{expr.fieldname}"
+    if isinstance(expr, ast.Index):
+        return f"{_render_postfix_base(expr.obj)}[{render_expr(expr.index)}]"
+    if isinstance(expr, ast.Call):
+        args = ", ".join(render_expr(a) for a in expr.args)
+        return f"{_render_postfix_base(expr.func)}({args})"
+    if isinstance(expr, ast.Unary):
+        inner = render_expr(expr.operand)
+        if not isinstance(
+            expr.operand, (ast.Ident, ast.Number, ast.Member, ast.Index,
+                           ast.Call, ast.String, ast.CharLit)
+        ):
+            inner = f"({inner})"
+        return f"{expr.op}{inner}" if expr.prefix else f"{inner}{expr.op}"
+    if isinstance(expr, ast.Binary):
+        return (
+            f"{_maybe_paren(expr.lhs)} {expr.op} {_maybe_paren(expr.rhs)}"
+        )
+    if isinstance(expr, ast.Assign):
+        return f"{render_expr(expr.target)} {expr.op} {render_expr(expr.value)}"
+    if isinstance(expr, ast.Ternary):
+        return (
+            f"{_maybe_paren(expr.cond)} ? {render_expr(expr.then)} : "
+            f"{render_expr(expr.other)}"
+        )
+    if isinstance(expr, ast.Cast):
+        stars = "*" * expr.pointers
+        return f"({expr.type_name} {stars})".replace(" )", ")") + \
+            _maybe_paren(expr.operand)
+    if isinstance(expr, ast.SizeOf):
+        return f"sizeof({expr.text})"
+    if isinstance(expr, ast.InitList):
+        return "{ " + ", ".join(render_expr(i) for i in expr.items) + " }"
+    if isinstance(expr, ast.CommaExpr):
+        return ", ".join(render_expr(p) for p in expr.parts)
+    return "<expr>"
+
+
+def _render_postfix_base(expr: ast.Expr | None) -> str:
+    """Base of a postfix expression, parenthesized when needed."""
+    text = render_expr(expr)
+    if isinstance(
+        expr, (ast.Ident, ast.Member, ast.Index, ast.Call, ast.String)
+    ):
+        return text
+    return f"({text})"
+
+
+def _maybe_paren(expr: ast.Expr | None) -> str:
+    text = render_expr(expr)
+    if isinstance(
+        expr, (ast.Ident, ast.Number, ast.Member, ast.Index, ast.Call,
+               ast.String, ast.CharLit)
+    ):
+        return text
+    return f"({text})"

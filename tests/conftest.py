@@ -1,0 +1,86 @@
+"""Shared test helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.barrier_scan import BarrierScanner, ScanLimits
+from repro.checkers.runner import CheckerSuite, CheckReport
+from repro.core.engine import KernelSource, OFenceEngine
+from repro.cparse import parse_source
+from repro.pairing.algorithm import PairingEngine
+from repro.pairing.model import PairingResult
+
+
+class Analyzed:
+    """One-file analysis bundle used by checker/pairing tests."""
+
+    def __init__(self, source: str, filename: str = "test.c",
+                 limits: ScanLimits | None = None):
+        self.source = source
+        self.filename = filename
+        self.unit = parse_source(source, filename)
+        self.scanner = BarrierScanner(
+            self.unit, limits=limits, filename=filename
+        )
+        self.sites = self.scanner.scan()
+
+    def cfg_lookup(self, filename: str, function: str):
+        scan = self.scanner.function_scan(function)
+        return scan.cfg if scan is not None else None
+
+    def pair(self) -> PairingResult:
+        return PairingEngine(self.sites).pair()
+
+    def check(self, annotate: bool = False) -> CheckReport:
+        return CheckerSuite(self.cfg_lookup, annotate=annotate).run(
+            self.pair()
+        )
+
+    def site(self, function: str, primitive: str | None = None):
+        for site in self.sites:
+            if site.function == function and (
+                primitive is None or site.primitive == primitive
+            ):
+                return site
+        raise AssertionError(f"no barrier site in {function}")
+
+
+@pytest.fixture
+def analyze():
+    """Factory fixture: ``analyze(c_source) -> Analyzed``."""
+    return Analyzed
+
+
+@pytest.fixture
+def engine_for():
+    """Factory fixture: ``engine_for({'f.c': src}) -> OFenceEngine``."""
+
+    def _make(files: dict[str, str], **kwargs) -> OFenceEngine:
+        return OFenceEngine(KernelSource(files=files), **kwargs)
+
+    return _make
+
+
+LISTING_1 = """
+struct my_struct { int init; int y; };
+void reader(struct my_struct *a)
+{
+\tif (!a->init)
+\t\treturn;
+\tsmp_rmb();
+\tf(a->y);
+}
+void writer(struct my_struct *b)
+{
+\tb->y = 1;
+\tsmp_wmb();
+\tb->init = 1;
+}
+"""
+
+
+@pytest.fixture
+def listing1() -> str:
+    """The paper's Listing 1 (correct flag/payload pattern)."""
+    return LISTING_1

@@ -1,0 +1,233 @@
+"""Unit tests for memory-access extraction and classification."""
+
+from repro.analysis.accesses import AccessExtractor, AccessKind, ObjectKey
+from repro.cparse.parser import parse_source
+from repro.cparse.typesys import UNKNOWN_STRUCT, TypeRegistry
+
+
+def extract(stmt_src, struct_def="struct s { int a; int b; int flags; };",
+            params="struct s *p, struct s *q"):
+    src = f"{struct_def}\nvoid f({params}) {{ {stmt_src} }}"
+    unit = parse_source(src, "test.c")
+    registry = TypeRegistry()
+    registry.add_unit(unit)
+    extractor = AccessExtractor(registry)
+    fn = unit.function("f")
+    extractor.declare_params(fn)
+    out = []
+    for stmt in fn.body.stmts:
+        if getattr(stmt, "cond", None) is not None:
+            out.extend(extractor.extract(stmt.cond))
+        elif hasattr(stmt, "expr") and stmt.expr is not None:
+            out.extend(extractor.extract(stmt.expr))
+        elif hasattr(stmt, "declarators"):
+            extractor.declare_locals(stmt)
+            for d in stmt.declarators:
+                if d.init is not None:
+                    out.extend(extractor.extract(d.init))
+    return out
+
+
+def single(stmt_src, **kwargs):
+    accesses = extract(stmt_src, **kwargs)
+    assert len(accesses) == 1, accesses
+    return accesses[0]
+
+
+class TestClassification:
+    def test_plain_read(self):
+        access = single("g(p->a);")
+        assert access.kind is AccessKind.READ
+        assert access.key == ObjectKey("s", "a")
+
+    def test_plain_write(self):
+        access = single("p->a = 1;")
+        assert access.kind is AccessKind.WRITE
+
+    def test_compound_assignment_reads_and_writes(self):
+        access = single("p->a += 2;")
+        assert access.kind is AccessKind.READ_WRITE
+
+    def test_increment_reads_and_writes(self):
+        access = single("p->a++;")
+        assert access.kind is AccessKind.READ_WRITE
+
+    def test_prefix_decrement(self):
+        access = single("--p->a;")
+        assert access.kind is AccessKind.READ_WRITE
+
+    def test_rhs_of_assignment_is_read(self):
+        accesses = extract("p->a = q->b;")
+        kinds = {a.key.field: a.kind for a in accesses}
+        assert kinds["a"] is AccessKind.WRITE
+        assert kinds["b"] is AccessKind.READ
+
+    def test_condition_is_read(self):
+        access = single("if (p->flags) g();")
+        assert access.kind is AccessKind.READ
+
+    def test_read_in_call_argument(self):
+        access = single("consume(p->a);")
+        assert access.kind is AccessKind.READ
+
+    def test_address_of_member_is_not_an_access(self):
+        assert extract("g(&p->a);") == []
+
+    def test_nested_member_reads_path(self):
+        src = """
+        struct in { int leaf; };
+        struct out { struct in *in; };
+        void f(struct out *o) { o->in->leaf = 1; }
+        """
+        unit = parse_source(src, "t.c")
+        registry = TypeRegistry()
+        registry.add_unit(unit)
+        extractor = AccessExtractor(registry)
+        fn = unit.function("f")
+        extractor.declare_params(fn)
+        accesses = extractor.extract(fn.body.stmts[0].expr)
+        by_field = {a.key.field: a for a in accesses}
+        assert by_field["leaf"].kind is AccessKind.WRITE
+        assert by_field["leaf"].key.struct == "in"
+        assert by_field["in"].kind is AccessKind.READ
+        assert by_field["in"].key.struct == "out"
+
+
+class TestAnnotations:
+    def test_read_once(self):
+        access = single("x = READ_ONCE(p->a);",
+                        params="struct s *p, int x")
+        assert access.via == "READ_ONCE"
+        assert access.kind is AccessKind.READ
+        assert access.annotated
+
+    def test_write_once(self):
+        access = single("WRITE_ONCE(p->a, 5);")
+        assert access.via == "WRITE_ONCE"
+        assert access.kind is AccessKind.WRITE
+
+    def test_rcu_dereference_counts_as_annotated_read(self):
+        access = single("x = rcu_dereference(p->a);",
+                        params="struct s *p, int x")
+        assert access.kind is AccessKind.READ
+
+    def test_plain_access_not_annotated(self):
+        access = single("g(p->a);")
+        assert not access.annotated
+
+
+class TestBarrierPrimitiveAccesses:
+    def test_store_release_writes_target(self):
+        access = single("smp_store_release(&p->flags, 1);")
+        assert access.kind is AccessKind.WRITE
+        assert access.via == "smp_store_release"
+
+    def test_load_acquire_reads_target(self):
+        access = single("x = smp_load_acquire(&p->flags);",
+                        params="struct s *p, int x")
+        assert access.kind is AccessKind.READ
+        assert access.via == "smp_load_acquire"
+
+    def test_store_mb_writes_target(self):
+        access = single("smp_store_mb(p->flags, 1);")
+        assert access.kind is AccessKind.WRITE
+
+    def test_plain_barrier_has_no_access(self):
+        assert extract("smp_wmb();") == []
+
+
+class TestAtomicHelpers:
+    def test_atomic_inc_reads_and_writes(self):
+        access = single("atomic_inc(&p->a);")
+        assert access.kind is AccessKind.READ_WRITE
+        assert access.via == "atomic_inc"
+
+    def test_atomic_set_writes(self):
+        access = single("atomic_set(&p->a, 1);")
+        assert access.kind is AccessKind.WRITE
+
+    def test_atomic_read_reads(self):
+        access = single("x = atomic_read(&p->a);",
+                        params="struct s *p, int x")
+        assert access.kind is AccessKind.READ
+
+    def test_set_bit_reads_and_writes(self):
+        accesses = extract("set_bit(0, &p->flags);")
+        (access,) = [a for a in accesses if a.key.field == "flags"]
+        assert access.kind is AccessKind.READ_WRITE
+
+    def test_unknown_call_args_are_reads(self):
+        access = single("mystery_fn(p->a);")
+        assert access.kind is AccessKind.READ
+
+
+class TestObjectKeys:
+    def test_unknown_struct_key(self):
+        access = single("g(x->whatever);", params="void *x")
+        assert access.key.struct == UNKNOWN_STRUCT
+        assert not access.key.is_resolved
+
+    def test_resolved_key_string(self):
+        access = single("g(p->a);")
+        assert str(access.key) == "(struct s, a)"
+
+    def test_same_field_different_structs_distinct(self):
+        src = """
+        struct a { int shared; };
+        struct b { int shared; };
+        void f(struct a *x, struct b *y) { g(x->shared); g(y->shared); }
+        """
+        unit = parse_source(src, "t.c")
+        registry = TypeRegistry()
+        registry.add_unit(unit)
+        extractor = AccessExtractor(registry)
+        fn = unit.function("f")
+        extractor.declare_params(fn)
+        keys = set()
+        for stmt in fn.body.stmts:
+            for access in extractor.extract(stmt.expr):
+                keys.add(access.key)
+        assert keys == {ObjectKey("a", "shared"), ObjectKey("b", "shared")}
+
+    def test_aliased_variables_same_key(self, listing1):
+        # reader uses 'a', writer uses 'b': same (struct, field) key.
+        unit = parse_source(listing1, "t.c")
+        registry = TypeRegistry()
+        registry.add_unit(unit)
+        keys_per_fn = []
+        for name in ("reader", "writer"):
+            fn = unit.function(name)
+            extractor = AccessExtractor(registry)
+            extractor.declare_params(fn)
+            keys = set()
+            for stmt in fn.body.stmts:
+                expr = getattr(stmt, "expr", None) or getattr(stmt, "cond", None)
+                if expr is not None:
+                    keys.update(a.key for a in extractor.extract(expr))
+            keys_per_fn.append(keys)
+        assert ObjectKey("my_struct", "init") in keys_per_fn[0]
+        assert ObjectKey("my_struct", "init") in keys_per_fn[1]
+
+
+class TestEvaluationOrderAndEdgeCases:
+    def test_ternary_both_branches_extracted(self):
+        accesses = extract("x = c ? p->a : p->b;",
+                           params="struct s *p, int x, int c")
+        fields = {a.key.field for a in accesses}
+        assert fields == {"a", "b"}
+
+    def test_index_expression_extracted(self):
+        accesses = extract("g(arr[p->a]);", params="struct s *p, int *arr")
+        assert accesses[0].key.field == "a"
+
+    def test_comma_expression(self):
+        accesses = extract("p->a = 1, p->b = 2;")
+        assert {a.key.field for a in accesses} == {"a", "b"}
+
+    def test_cast_preserves_access(self):
+        access = single("x = (long)p->a;", params="struct s *p, long x")
+        assert access.kind is AccessKind.READ
+
+    def test_init_list_reads(self):
+        accesses = extract("int v[2] = { p->a, p->b };")
+        assert {a.key.field for a in accesses} == {"a", "b"}

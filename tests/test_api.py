@@ -1,0 +1,110 @@
+"""Tests for the high-level convenience API."""
+
+import json
+
+import pytest
+
+import repro.api as ofence
+from repro.cli import main
+
+CORRECT = """
+struct s { int flag; int data; };
+void w(struct s *p) { p->data = 1; smp_wmb(); p->flag = 1; }
+void r(struct s *p) {
+    if (!p->flag) return;
+    smp_rmb();
+    g(p->data);
+}
+"""
+BUGGY = CORRECT.replace(
+    "if (!p->flag) return;\n    smp_rmb();",
+    "smp_rmb();\n    if (!p->flag) return;",
+)
+
+
+class TestAnalyzeSource:
+    def test_clean_code(self):
+        analysis = ofence.analyze_source(CORRECT)
+        assert analysis.is_clean
+        assert len(analysis.pairings) == 1
+        assert analysis.findings == []
+
+    def test_buggy_code(self):
+        analysis = ofence.analyze_source(BUGGY)
+        assert not analysis.is_clean
+        assert len(analysis.findings) == 1
+        assert analysis.patches
+
+    def test_annotations_togglable(self):
+        with_annotations = ofence.analyze_source(CORRECT, annotate=True)
+        without = ofence.analyze_source(CORRECT, annotate=False)
+        assert with_annotations.annotations
+        assert without.annotations == []
+
+    def test_window_parameters(self):
+        padded = CORRECT.replace(
+            "p->data = 1; smp_wmb();",
+            "p->data = 1; pad1(); pad2(); pad3(); pad4(); pad5(); "
+            "pad6(); smp_wmb();",
+        )
+        default = ofence.analyze_source(padded)
+        widened = ofence.analyze_source(padded, write_window=10)
+        assert default.pairings == []
+        assert len(widened.pairings) == 1
+
+    def test_to_json(self):
+        analysis = ofence.analyze_source(BUGGY)
+        data = json.loads(analysis.to_json())
+        assert data["stats"]["pairings"] == 1
+
+
+class TestValidate:
+    def test_clean_pairing_validates_consistent(self):
+        analysis = ofence.analyze_source(CORRECT)
+        (summary,) = analysis.validate()
+        assert summary.consistent
+        assert "consistent" in summary.describe()
+
+    def test_buggy_pairing_validates_inconsistent(self):
+        analysis = ofence.analyze_source(BUGGY)
+        (summary,) = analysis.validate()
+        assert not summary.consistent
+        assert summary.inconsistent_outcomes >= 1
+
+
+class TestAnalyzeFilesAndDirectory:
+    def test_multiple_files(self):
+        writer = ("struct s { int flag; int data; };\n"
+                  "void w(struct s *p) { p->data = 1; smp_wmb(); "
+                  "p->flag = 1; }\n")
+        reader = ("struct s { int flag; int data; };\n"
+                  "void r(struct s *p) {\n"
+                  "\tif (!p->flag) return;\n\tsmp_rmb();\n"
+                  "\tg(p->data);\n}\n")
+        analysis = ofence.analyze_files({"w.c": writer, "r.c": reader})
+        assert len(analysis.pairings) == 1
+
+    def test_directory(self, tmp_path):
+        (tmp_path / "a.c").write_text(CORRECT)
+        analysis = ofence.analyze_directory(tmp_path)
+        assert len(analysis.pairings) == 1
+
+
+class TestLitmusCommand:
+    def test_exit_zero_for_consistent(self, tmp_path, capsys):
+        f = tmp_path / "ok.c"
+        f.write_text(CORRECT)
+        assert main(["litmus", str(f)]) == 0
+        assert "consistent" in capsys.readouterr().out
+
+    def test_exit_one_for_inconsistent(self, tmp_path, capsys):
+        f = tmp_path / "bad.c"
+        f.write_text(BUGGY)
+        assert main(["litmus", str(f)]) == 1
+        assert "INCONSISTENT" in capsys.readouterr().out
+
+    def test_no_pairings_message(self, tmp_path, capsys):
+        f = tmp_path / "none.c"
+        f.write_text("void f(void) { g(); }\n")
+        assert main(["litmus", str(f)]) == 0
+        assert "no pairings" in capsys.readouterr().out

@@ -1,0 +1,157 @@
+"""Tests for the generated kernel atomic family."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.kernel.atomics import (
+    ATOMIC_ORDERING,
+    Ordering,
+    family_size,
+    implies_any_barrier,
+    implies_full_barrier,
+    is_atomic_primitive,
+    ordering_of,
+)
+from repro.kernel.semantics import (
+    bounds_exploration_window,
+    has_barrier_semantics,
+    semantics_of,
+)
+
+
+class TestFamilyGeneration:
+    def test_family_exceeds_400_primitives(self):
+        # §4.1: "more than 400 primitives".
+        assert family_size() > 400
+
+    def test_all_three_prefixes_present(self):
+        for prefix in ("atomic_", "atomic64_", "atomic_long_"):
+            assert f"{prefix}add_return" in ATOMIC_ORDERING
+
+    def test_void_rmw_unordered(self):
+        for name in ("atomic_add", "atomic_inc", "atomic64_sub",
+                     "atomic_long_and"):
+            assert ordering_of(name) is Ordering.NONE
+
+    def test_value_returning_fully_ordered(self):
+        for name in ("atomic_add_return", "atomic_fetch_add",
+                     "atomic64_inc_return", "atomic_xchg",
+                     "atomic_cmpxchg"):
+            assert ordering_of(name) is Ordering.FULL
+
+    def test_relaxed_variants_unordered(self):
+        for name in ("atomic_add_return_relaxed", "atomic_xchg_relaxed",
+                     "atomic64_fetch_or_relaxed"):
+            assert ordering_of(name) is Ordering.NONE
+
+    def test_acquire_release_variants(self):
+        assert ordering_of("atomic_add_return_acquire") is Ordering.ACQUIRE
+        assert ordering_of("atomic_cmpxchg_release") is Ordering.RELEASE
+        assert ordering_of("atomic_read_acquire") is Ordering.ACQUIRE
+        assert ordering_of("atomic_set_release") is Ordering.RELEASE
+
+    def test_predicates_fully_ordered_no_variants(self):
+        assert ordering_of("atomic_dec_and_test") is Ordering.FULL
+        assert ordering_of("atomic_dec_and_test_relaxed") is None
+
+    def test_non_rmw_unordered(self):
+        assert ordering_of("atomic_read") is Ordering.NONE
+        assert ordering_of("atomic64_set") is Ordering.NONE
+
+    def test_unknown_name_is_none(self):
+        assert ordering_of("atomic_frobnicate") is None
+        assert not is_atomic_primitive("printk")
+
+    @given(st.sampled_from(sorted(ATOMIC_ORDERING)))
+    def test_relaxed_suffix_never_ordered(self, name):
+        if name.endswith("_relaxed"):
+            assert ordering_of(name) is Ordering.NONE
+
+    @given(st.sampled_from(sorted(ATOMIC_ORDERING)))
+    def test_barrier_implications_consistent(self, name):
+        ordering = ordering_of(name)
+        assert implies_full_barrier(name) == (ordering is Ordering.FULL)
+        assert implies_any_barrier(name) == ordering.implies_barrier
+
+
+class TestSemanticsIntegration:
+    def test_generated_primitive_gets_semantics(self):
+        spec = semantics_of("atomic64_fetch_add")
+        assert spec is not None
+        assert spec.is_atomic
+        assert spec.memory_barrier
+
+    def test_curated_table_takes_precedence(self):
+        # atomic_inc exists in both; the curated entry wins.
+        spec = semantics_of("atomic_inc")
+        assert "architectures" in spec.description
+
+    def test_read_write_classification(self):
+        assert semantics_of("atomic_long_read").reads
+        assert not semantics_of("atomic_long_read").writes
+        assert semantics_of("atomic64_set").writes
+        assert not semantics_of("atomic64_set").reads
+        rmw = semantics_of("atomic64_fetch_add")
+        assert rmw.reads and rmw.writes
+
+    def test_has_barrier_semantics_for_generated(self):
+        assert has_barrier_semantics("atomic64_add_return")
+        assert not has_barrier_semantics("atomic64_add_return_relaxed")
+
+    def test_acquire_release_bound_windows_but_no_full_barrier(self):
+        assert bounds_exploration_window("atomic_add_return_acquire")
+        assert not has_barrier_semantics("atomic_add_return_acquire")
+
+
+class TestScannerIntegration:
+    def test_acquire_atomic_bounds_window(self, analyze):
+        src = """
+        struct s { int a; int cnt; };
+        void f(struct s *p) {
+            smp_wmb();
+            atomic_add_return_acquire(1, &p->cnt);
+            p->a = 1;
+        }
+        """
+        from repro.analysis.accesses import ObjectKey
+
+        site = analyze(src).site("f", "smp_wmb")
+        assert not [u for u in site.uses if u.key == ObjectKey("s", "a")]
+
+    def test_relaxed_atomic_does_not_bound_window(self, analyze):
+        src = """
+        struct s { int a; int cnt; };
+        void f(struct s *p) {
+            smp_wmb();
+            atomic_add_return_relaxed(1, &p->cnt);
+            p->a = 1;
+        }
+        """
+        from repro.analysis.accesses import ObjectKey
+
+        site = analyze(src).site("f", "smp_wmb")
+        assert [u for u in site.uses if u.key == ObjectKey("s", "a")]
+
+    def test_generated_atomic_access_extracted(self, analyze):
+        src = """
+        struct s { atomic64_t cnt; int a; };
+        void f(struct s *p) {
+            p->a = 1;
+            smp_wmb();
+            atomic64_inc(&p->cnt);
+        }
+        """
+        from repro.analysis.accesses import ObjectKey
+
+        site = analyze(src).site("f")
+        uses = [u for u in site.uses if u.key == ObjectKey("s", "cnt")]
+        assert uses and uses[0].kind.reads and uses[0].kind.writes
+
+    def test_unneeded_barrier_before_generated_atomic(self, analyze):
+        src = """
+        struct s { int refs; };
+        void f(struct s *p) { smp_mb(); atomic64_inc_return(&p->refs); }
+        """
+        report = analyze(src).check()
+        assert len(report.unneeded_findings) == 1

@@ -1,0 +1,322 @@
+"""Unit tests for barrier scanning and window collection."""
+
+from repro.analysis.accesses import ObjectKey
+from repro.analysis.barrier_scan import ScanLimits
+from repro.kernel.barriers import BarrierKind
+
+
+def uses_by_key(site, struct, field):
+    return [u for u in site.uses if u.key == ObjectKey(struct, field)]
+
+
+class TestSiteDiscovery:
+    def test_all_primitives_found(self, analyze):
+        src = """
+        void f(struct s *a) {
+            smp_rmb();
+            smp_wmb();
+            smp_mb();
+            smp_mb__before_atomic();
+            smp_mb__after_atomic();
+        }
+        """
+        a = analyze(src)
+        assert [s.primitive for s in a.sites] == [
+            "smp_rmb", "smp_wmb", "smp_mb",
+            "smp_mb__before_atomic", "smp_mb__after_atomic",
+        ]
+
+    def test_kind_classification(self, analyze):
+        a = analyze("void f(void) { smp_rmb(); smp_wmb(); smp_mb(); }")
+        kinds = [s.kind for s in a.sites]
+        assert kinds == [BarrierKind.READ, BarrierKind.WRITE,
+                         BarrierKind.FULL]
+
+    def test_store_release_is_a_site(self, analyze):
+        a = analyze(
+            "struct s { int f; };\n"
+            "void w(struct s *p) { smp_store_release(&p->f, 1); }"
+        )
+        (site,) = a.sites
+        assert site.primitive == "smp_store_release"
+        assert site.kind is BarrierKind.FULL
+
+    def test_seqcount_helpers_are_sites(self, analyze):
+        src = """
+        void r(seqcount_t *s) {
+            unsigned v;
+            do {
+                v = read_seqcount_begin(s);
+                g();
+            } while (read_seqcount_retry(s, v));
+        }
+        """
+        a = analyze(src)
+        names = {s.primitive for s in a.sites}
+        assert names == {"read_seqcount_begin", "read_seqcount_retry"}
+        assert all(s.is_seqcount_helper for s in a.sites)
+
+    def test_functions_without_barriers_have_no_sites(self, analyze):
+        a = analyze("void f(struct s *p) { p->x = 1; }")
+        assert a.sites == []
+
+    def test_barrier_id_unique(self, analyze):
+        a = analyze("void f(void) { smp_mb(); smp_mb(); }")
+        ids = {s.barrier_id for s in a.sites}
+        assert len(ids) == 2
+
+    def test_line_numbers_recorded(self, listing1, analyze):
+        a = analyze(listing1)
+        reader = a.site("reader", "smp_rmb")
+        assert reader.line > 0
+
+
+class TestWindows:
+    def test_listing1_window_sides(self, listing1, analyze):
+        a = analyze(listing1)
+        writer = a.site("writer", "smp_wmb")
+        (y_use,) = uses_by_key(writer, "my_struct", "y")
+        (init_use,) = uses_by_key(writer, "my_struct", "init")
+        assert (y_use.side, y_use.distance) == ("before", 1)
+        assert (init_use.side, init_use.distance) == ("after", 1)
+
+    def test_write_window_limit(self, analyze):
+        src = """
+        struct s { int a; int b; };
+        void f(struct s *p) {
+            p->a = 1;
+            pad1(); pad2(); pad3(); pad4(); pad5();
+            smp_wmb();
+            p->b = 1;
+        }
+        """
+        a = analyze(src)
+        site = a.site("f")
+        assert uses_by_key(site, "s", "a") == []  # distance 6 > window 5
+        assert len(uses_by_key(site, "s", "b")) == 1
+
+    def test_custom_window_limits(self, analyze):
+        src = """
+        struct s { int a; int b; };
+        void f(struct s *p) {
+            p->a = 1;
+            pad1(); pad2(); pad3(); pad4(); pad5();
+            smp_wmb();
+            p->b = 1;
+        }
+        """
+        a = analyze(src, limits=ScanLimits(write_window=10))
+        site = a.site("f")
+        assert len(uses_by_key(site, "s", "a")) == 1
+
+    def test_read_window_is_wider(self, analyze):
+        pads = "\n".join(f"pad{i}();" for i in range(20))
+        src = f"""
+        struct s {{ int a; }};
+        void f(struct s *p) {{
+            smp_rmb();
+            {pads}
+            g(p->a);
+        }}
+        """
+        a = analyze(src)
+        (use,) = uses_by_key(a.site("f"), "s", "a")
+        assert use.distance == 21
+
+    def test_window_bounded_by_other_barrier(self, analyze):
+        src = """
+        struct s { int a; int b; };
+        void f(struct s *p) {
+            smp_wmb();
+            p->a = 1;
+            smp_wmb();
+            p->b = 1;
+        }
+        """
+        a = analyze(src)
+        first, second = a.sites
+        # The first barrier's effect stops at the second: 'b' is out of
+        # its window.  The access *between* the barriers belongs to both
+        # windows (first.after and second.before), which is what lets the
+        # seqcount duos of Figure 5 share their payload objects.
+        assert uses_by_key(first, "s", "b") == []
+        (a_in_first,) = uses_by_key(first, "s", "a")
+        assert a_in_first.side == "after"
+        (a_in_second,) = uses_by_key(second, "s", "a")
+        assert a_in_second.side == "before"
+
+    def test_window_bounded_by_barrier_semantics_atomic(self, analyze):
+        src = """
+        struct s { int a; int b; };
+        void f(struct s *p) {
+            smp_wmb();
+            atomic_inc_return(&p->cnt);
+            p->a = 1;
+        }
+        """
+        a = analyze(src)
+        site = a.site("f", "smp_wmb")
+        assert uses_by_key(site, "s", "a") == []
+
+    def test_window_not_bounded_by_plain_atomic(self, analyze):
+        src = """
+        struct s { int a; };
+        void f(struct s *p) {
+            smp_wmb();
+            atomic_inc(&p->cnt);
+            p->a = 1;
+        }
+        """
+        a = analyze(src)
+        site = a.site("f", "smp_wmb")
+        assert len(uses_by_key(site, "s", "a")) == 1
+
+    def test_implied_access_of_store_release(self, analyze):
+        src = """
+        struct s { int flag; int data; };
+        void w(struct s *p) {
+            p->data = 1;
+            smp_store_release(&p->flag, 1);
+        }
+        """
+        a = analyze(src)
+        site = a.site("w")
+        (flag_use,) = uses_by_key(site, "s", "flag")
+        assert flag_use.side == "after"  # barrier then write
+        (data_use,) = uses_by_key(site, "s", "data")
+        assert data_use.side == "before"
+
+    def test_implied_access_of_load_acquire(self, analyze):
+        src = """
+        struct s { int flag; int data; };
+        void r(struct s *p) {
+            int f = smp_load_acquire(&p->flag);
+            g(p->data);
+        }
+        """
+        a = analyze(src)
+        site = a.site("r")
+        (flag_use,) = uses_by_key(site, "s", "flag")
+        assert flag_use.side == "before"  # read then barrier
+        (data_use,) = uses_by_key(site, "s", "data")
+        assert data_use.side == "after"
+
+
+class TestCalleeInlining:
+    def test_local_callee_accesses_inlined(self, analyze):
+        src = """
+        struct s { int a; int b; };
+        static void init_obj(struct s *p) { p->a = 1; }
+        void w(struct s *p) {
+            init_obj(p);
+            smp_wmb();
+            p->b = 1;
+        }
+        """
+        a = analyze(src)
+        site = a.site("w")
+        (use,) = uses_by_key(site, "s", "a")
+        assert use.inlined_from == "init_obj"
+        assert use.side == "before"
+
+    def test_unknown_callee_not_inlined(self, analyze):
+        src = """
+        struct s { int b; };
+        void w(struct s *p) {
+            external_init(p);
+            smp_wmb();
+            p->b = 1;
+        }
+        """
+        a = analyze(src)
+        assert all(u.inlined_from is None for u in a.site("w").uses)
+
+    def test_caller_extension_when_window_reaches_boundary(self, analyze):
+        src = """
+        struct s { int a; int b; };
+        void publish(struct s *p) {
+            smp_wmb();
+            p->b = 1;
+        }
+        void caller(struct s *p) {
+            p->a = 1;
+            publish(p);
+        }
+        """
+        a = analyze(src)
+        site = a.site("publish")
+        uses = uses_by_key(site, "s", "a")
+        assert len(uses) == 1
+        assert uses[0].inlined_from == "caller"
+        assert uses[0].side == "before"
+
+
+class TestWakeupAndRedundancy:
+    def test_wakeup_after_recorded(self, analyze):
+        src = """
+        struct s { int a; };
+        void w(struct s *p) {
+            p->a = 1;
+            smp_wmb();
+            wake_up_process(task);
+        }
+        """
+        a = analyze(src)
+        site = a.site("w")
+        assert site.wakeup_after == ("wake_up_process", 1)
+        assert site.redundant_with == ("wake_up_process", 1)
+
+    def test_distant_wakeup_distance(self, analyze):
+        src = """
+        struct s { int a; int b; };
+        void w(struct s *p) {
+            p->a = 1;
+            smp_wmb();
+            p->b = 1;
+            wake_up(q);
+        }
+        """
+        a = analyze(src)
+        assert a.site("w").wakeup_after == ("wake_up", 2)
+
+    def test_adjacent_barrier_sets_redundancy(self, analyze):
+        a = analyze("void f(void) { smp_wmb(); smp_mb(); }")
+        site = a.site("f", "smp_wmb")
+        assert site.redundant_with == ("smp_mb", 1)
+
+    def test_no_wakeup_no_redundancy(self, listing1, analyze):
+        a = analyze(listing1)
+        writer = a.site("writer")
+        assert writer.wakeup_after is None
+        assert writer.redundant_with is None
+
+
+class TestSiteQueries:
+    def test_orders_requires_both_sides(self, listing1, analyze):
+        a = analyze(listing1)
+        writer = a.site("writer")
+        y = ObjectKey("my_struct", "y")
+        init = ObjectKey("my_struct", "init")
+        assert writer.orders(y, init)
+        assert writer.orders(init, y)
+        assert not writer.orders(y, y)
+
+    def test_best_use_picks_closest(self, analyze):
+        src = """
+        struct s { int a; int b; };
+        void f(struct s *p) {
+            g(p->a);
+            h(p->a);
+            smp_rmb();
+            g(p->b);
+        }
+        """
+        a = analyze(src)
+        best = a.site("f").best_use(ObjectKey("s", "a"))
+        assert best.distance == 1
+
+    def test_keys_set(self, listing1, analyze):
+        a = analyze(listing1)
+        assert a.site("reader").keys() == {
+            ObjectKey("my_struct", "init"), ObjectKey("my_struct", "y"),
+        }

@@ -1,0 +1,166 @@
+"""Tests for the Eraser/RacerX-style lockset baseline."""
+
+from repro.analysis.accesses import ObjectKey
+from repro.baselines.lockset import LocksetAnalysis, run_lockset_baseline
+from repro.core.engine import KernelSource
+from repro.cparse.parser import parse_source
+
+
+def analyze(src, filename="t.c"):
+    analysis = LocksetAnalysis()
+    analysis.add_unit(parse_source(src, filename), filename)
+    return analysis.report()
+
+
+class TestLocksetTracking:
+    def test_consistently_locked_access_not_a_candidate(self):
+        src = """
+        struct s { int x; spinlock_t lock; };
+        void a(struct s *p) { spin_lock(&p->lock); p->x = 1; spin_unlock(&p->lock); }
+        void b(struct s *p) { spin_lock(&p->lock); g(p->x); spin_unlock(&p->lock); }
+        """
+        report = analyze(src)
+        assert ObjectKey("s", "x") not in report.candidate_keys()
+
+    def test_unlocked_shared_write_is_a_candidate(self):
+        src = """
+        struct s { int x; };
+        void a(struct s *p) { p->x = 1; }
+        void b(struct s *p) { g(p->x); }
+        """
+        report = analyze(src)
+        assert ObjectKey("s", "x") in report.candidate_keys()
+
+    def test_inconsistent_locking_is_a_candidate(self):
+        src = """
+        struct s { int x; spinlock_t lock; };
+        void a(struct s *p) { spin_lock(&p->lock); p->x = 1; spin_unlock(&p->lock); }
+        void b(struct s *p) { g(p->x); }
+        """
+        report = analyze(src)
+        assert ObjectKey("s", "x") in report.candidate_keys()
+
+    def test_different_locks_do_not_protect(self):
+        src = """
+        struct s { int x; spinlock_t l1; spinlock_t l2; };
+        void a(struct s *p) { spin_lock(&p->l1); p->x = 1; spin_unlock(&p->l1); }
+        void b(struct s *p) { spin_lock(&p->l2); g(p->x); spin_unlock(&p->l2); }
+        """
+        report = analyze(src)
+        assert ObjectKey("s", "x") in report.candidate_keys()
+
+    def test_read_only_sharing_not_reported(self):
+        src = """
+        struct s { int x; };
+        void a(struct s *p) { g(p->x); }
+        void b(struct s *p) { h(p->x); }
+        """
+        report = analyze(src)
+        assert report.candidates == []
+
+    def test_single_function_access_not_reported(self):
+        src = """
+        struct s { int x; };
+        void a(struct s *p) { p->x = 1; }
+        """
+        assert analyze(src).candidates == []
+
+    def test_mutex_and_rwlock_supported(self):
+        src = """
+        struct s { int x; mutex_t m; };
+        void a(struct s *p) { mutex_lock(&p->m); p->x = 1; mutex_unlock(&p->m); }
+        void b(struct s *p) { mutex_lock(&p->m); g(p->x); mutex_unlock(&p->m); }
+        """
+        report = analyze(src)
+        assert ObjectKey("s", "x") not in report.candidate_keys()
+
+    def test_unlock_releases_protection(self):
+        src = """
+        struct s { int x; spinlock_t lock; };
+        void a(struct s *p) {
+            spin_lock(&p->lock);
+            spin_unlock(&p->lock);
+            p->x = 1;
+        }
+        void b(struct s *p) { spin_lock(&p->lock); g(p->x); spin_unlock(&p->lock); }
+        """
+        report = analyze(src)
+        assert ObjectKey("s", "x") in report.candidate_keys()
+
+
+class TestRacerXPairing:
+    def test_functions_sharing_a_lock_pair(self):
+        src = """
+        struct s { int x; spinlock_t lock; };
+        void a(struct s *p) { spin_lock(&p->lock); p->x = 1; spin_unlock(&p->lock); }
+        void b(struct s *p) { spin_lock(&p->lock); g(p->x); spin_unlock(&p->lock); }
+        """
+        report = analyze(src)
+        assert ("a", "b") in report.lock_pairs
+
+    def test_functions_with_distinct_locks_do_not_pair(self):
+        src = """
+        struct s { int x; spinlock_t l1; spinlock_t l2; };
+        void a(struct s *p) { spin_lock(&p->l1); spin_unlock(&p->l1); }
+        void b(struct s *p) { spin_lock(&p->l2); spin_unlock(&p->l2); }
+        """
+        report = analyze(src)
+        assert report.lock_pairs == []
+
+    def test_locked_functions_recorded(self):
+        src = """
+        void a(struct s *p) { spin_lock(&p->lock); spin_unlock(&p->lock); }
+        void b(struct s *p) { g(p); }
+        """
+        report = analyze(src)
+        assert report.locked_functions == {"a"}
+
+
+class TestPaperClaim:
+    """§1/§8: lockset tools cannot distinguish barrier-ordering bugs."""
+
+    CORRECT = """
+    struct s { int flag; int data; };
+    void w(struct s *p) { p->data = 1; smp_wmb(); p->flag = 1; }
+    void r(struct s *p) {
+        if (!p->flag) return;
+        smp_rmb();
+        g(p->data);
+    }
+    """
+    BUGGY = """
+    struct s { int flag; int data; };
+    void w(struct s *p) { p->data = 1; smp_wmb(); p->flag = 1; }
+    void r(struct s *p) {
+        smp_rmb();
+        if (!p->flag) return;
+        g(p->data);
+    }
+    """
+
+    def test_lockset_signal_identical_on_correct_and_buggy(self):
+        correct = analyze(self.CORRECT)
+        buggy = analyze(self.BUGGY)
+        # The baseline reports the same candidates either way: it sees
+        # unlocked shared accesses, not ordering.
+        assert correct.candidate_keys() == buggy.candidate_keys()
+        assert correct.candidate_keys() == {
+            ObjectKey("s", "flag"), ObjectKey("s", "data"),
+        }
+
+    def test_run_on_kernel_source(self):
+        source = KernelSource(files={"a.c": self.CORRECT})
+        report = run_lockset_baseline(source)
+        assert report.accesses_seen > 0
+
+    def test_config_gating_respected(self):
+        from repro.kernel.config import KernelConfig
+
+        source = KernelSource(
+            files={"a.c": self.CORRECT},
+            file_options={"a.c": "CONFIG_OFF"},
+        )
+        report = run_lockset_baseline(
+            source, config=KernelConfig(options={})
+        )
+        assert report.accesses_seen == 0

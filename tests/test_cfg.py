@@ -1,0 +1,204 @@
+"""Unit tests for CFG construction and the linear statement stream."""
+
+from repro.cfg.builder import build_cfg
+from repro.cfg.walk import (
+    backward_window,
+    forward_window,
+    iter_calls,
+    iter_expressions,
+    iter_subexpressions,
+)
+from repro.cparse import astnodes as ast
+from repro.cparse.parser import parse_source
+
+
+def cfg_of(src, fn=None):
+    unit = parse_source(src, "test.c")
+    function = unit.functions[0] if fn is None else unit.function(fn)
+    return build_cfg(function)
+
+
+class TestLinearization:
+    def test_statement_ids_are_sequential(self):
+        cfg = cfg_of("void f(void) { a(); b(); c(); }")
+        assert [s.stmt_id for s in cfg.linear] == [0, 1, 2]
+
+    def test_condition_pseudo_statements(self):
+        cfg = cfg_of("void f(int x) { if (x) a(); b(); }")
+        kinds = [s.kind for s in cfg.linear]
+        assert kinds == ["cond", "stmt", "stmt"]
+
+    def test_source_order_preserved_across_branches(self):
+        cfg = cfg_of(
+            "void f(int x) { a(); if (x) { b(); } else { c(); } d(); }"
+        )
+        names = []
+        for stmt in cfg.linear:
+            for expr in iter_expressions(stmt):
+                for call in iter_calls(expr):
+                    names.append(call.callee_name)
+        assert names == ["a", "x", "b", "c", "d"][1:] or \
+            names == ["a", "b", "c", "d"]
+
+    def test_while_condition_linearized_once(self):
+        cfg = cfg_of("void f(int x) { while (x) a(); }")
+        conds = [s for s in cfg.linear if s.kind == "cond"]
+        assert len(conds) == 1
+
+    def test_do_while_condition_after_body(self):
+        cfg = cfg_of("void f(int x) { do a(); while (x); }")
+        assert cfg.linear[0].kind == "stmt"
+        assert cfg.linear[1].kind == "cond"
+
+    def test_for_parts_linearized(self):
+        cfg = cfg_of("void f(void) { for (i = 0; i < 3; i++) a(); }")
+        kinds = [s.kind for s in cfg.linear]
+        # init (stmt), cond, body stmt, step (stmt)
+        assert kinds.count("cond") == 1
+        assert len(kinds) == 4
+
+    def test_macro_loop_head(self):
+        cfg = cfg_of(
+            "void f(int cpu) { for_each_cpu(cpu) { a(); } }"
+        )
+        assert cfg.linear[0].kind == "loop-head"
+
+    def test_statements_after_return_still_linearized(self):
+        cfg = cfg_of("void f(void) { return; a(); }")
+        assert len(cfg.linear) == 2
+
+    def test_depth_recorded(self):
+        cfg = cfg_of("void f(int x) { if (x) { if (x) { a(); } } }")
+        assert cfg.linear[-1].depth >= 2
+
+
+class TestBlocks:
+    def test_if_branches_have_distinct_blocks(self):
+        cfg = cfg_of("void f(int x) { if (x) a(); else b(); c(); }")
+        cond, a_stmt, b_stmt, c_stmt = cfg.linear
+        assert cfg.stmt_block[a_stmt.stmt_id] != cfg.stmt_block[b_stmt.stmt_id]
+        assert cfg.stmt_block[c_stmt.stmt_id] not in (
+            cfg.stmt_block[a_stmt.stmt_id], cfg.stmt_block[b_stmt.stmt_id]
+        )
+
+    def test_then_and_else_reach_join(self):
+        cfg = cfg_of("void f(int x) { if (x) a(); else b(); c(); }")
+        cond, a_stmt, b_stmt, c_stmt = cfg.linear
+        reached_a = cfg.reachable_from(a_stmt.stmt_id)
+        reached_b = cfg.reachable_from(b_stmt.stmt_id)
+        assert c_stmt.stmt_id in reached_a
+        assert c_stmt.stmt_id in reached_b
+
+    def test_else_not_reachable_from_then(self):
+        cfg = cfg_of("void f(int x) { if (x) a(); else b(); }")
+        cond, a_stmt, b_stmt = cfg.linear
+        assert b_stmt.stmt_id not in cfg.reachable_from(a_stmt.stmt_id)
+
+    def test_loop_body_reaches_itself(self):
+        cfg = cfg_of("void f(int x) { while (x) a(); }")
+        cond, body = cfg.linear
+        assert body.stmt_id in cfg.reachable_from(body.stmt_id)
+
+    def test_return_reaches_nothing_in_function(self):
+        cfg = cfg_of("void f(void) { a(); return; b(); }")
+        a_stmt, ret, b_stmt = cfg.linear
+        assert b_stmt.stmt_id not in cfg.reachable_from(ret.stmt_id)
+
+    def test_goto_reaches_label(self):
+        cfg = cfg_of("void f(void) { goto out; a(); out: b(); }")
+        goto_stmt = cfg.linear[0]
+        label_ids = [
+            s.stmt_id for s in cfg.linear
+            if isinstance(s.node, ast.LabelStmt)
+        ]
+        reached = cfg.reachable_from(goto_stmt.stmt_id)
+        assert set(label_ids) <= reached
+
+    def test_break_exits_loop(self):
+        cfg = cfg_of(
+            "void f(int x) { while (x) { if (x) break; a(); } b(); }"
+        )
+        break_id = next(
+            s.stmt_id for s in cfg.linear if isinstance(s.node, ast.Break)
+        )
+        b_id = cfg.linear[-1].stmt_id
+        assert b_id in cfg.reachable_from(break_id)
+
+    def test_entry_and_exit_blocks_exist(self):
+        cfg = cfg_of("void f(void) { a(); }")
+        assert cfg.entry_block in cfg.blocks
+        assert cfg.exit_block in cfg.blocks
+
+
+class TestWindows:
+    SRC = """
+    void f(struct s *a) {
+        a->w0 = 0;
+        a->w1 = 1;
+        smp_wmb();
+        a->r0 = 2;
+        a->r1 = 3;
+        a->r2 = 4;
+    }
+    """
+
+    def barrier_id(self, cfg):
+        for stmt in cfg.linear:
+            for expr in iter_expressions(stmt):
+                for call in iter_calls(expr):
+                    if call.callee_name == "smp_wmb":
+                        return stmt.stmt_id
+        raise AssertionError
+
+    def test_forward_window_distances(self):
+        cfg = cfg_of(self.SRC)
+        bid = self.barrier_id(cfg)
+        items = list(forward_window(cfg, bid, limit=2))
+        assert [d for _, d in items] == [1, 2]
+
+    def test_backward_window_distances(self):
+        cfg = cfg_of(self.SRC)
+        bid = self.barrier_id(cfg)
+        items = list(backward_window(cfg, bid, limit=10))
+        assert [d for _, d in items] == [1, 2]  # bounded by function start
+
+    def test_window_stops_at_predicate(self):
+        cfg = cfg_of(self.SRC)
+        bid = self.barrier_id(cfg)
+        stop = lambda stmt: stmt.stmt_id == bid + 2
+        items = list(forward_window(cfg, bid, limit=10, stop=stop))
+        assert len(items) == 1
+
+    def test_limit_zero_yields_nothing(self):
+        cfg = cfg_of(self.SRC)
+        assert list(forward_window(cfg, self.barrier_id(cfg), 0)) == []
+
+
+class TestExpressionIteration:
+    def test_iter_expressions_decl_initializers(self):
+        cfg = cfg_of("void f(void) { int a = g(), b = h(); }")
+        exprs = list(iter_expressions(cfg.linear[0]))
+        assert len(exprs) == 2
+
+    def test_iter_subexpressions_visits_all(self):
+        cfg = cfg_of("void f(void) { a->x = b[i] + f(c); }")
+        exprs = list(iter_expressions(cfg.linear[0]))
+        subs = list(iter_subexpressions(exprs[0]))
+        assert any(isinstance(s, ast.Index) for s in subs)
+        assert any(isinstance(s, ast.Call) for s in subs)
+        assert any(isinstance(s, ast.Member) for s in subs)
+
+    def test_iter_calls_nested(self):
+        cfg = cfg_of("void f(void) { outer(inner(1), 2); }")
+        (stmt,) = cfg.linear
+        calls = [
+            c.callee_name
+            for expr in iter_expressions(stmt)
+            for c in iter_calls(expr)
+        ]
+        assert set(calls) == {"outer", "inner"}
+
+    def test_return_value_iterated(self):
+        cfg = cfg_of("int f(struct s *a) { return a->x; }")
+        exprs = list(iter_expressions(cfg.linear[0]))
+        assert len(exprs) == 1

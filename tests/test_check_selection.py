@@ -1,0 +1,71 @@
+"""Tests for checker selection (CheckerSuite(checks=...))."""
+
+import pytest
+
+from repro.checkers.runner import ALL_CHECKS, CheckerSuite
+from repro.core.engine import AnalysisOptions, KernelSource, OFenceEngine
+
+MISPLACED = """
+struct s { int flag; int data; };
+void w(struct s *p) { p->data = 1; smp_wmb(); p->flag = 1; }
+void r(struct s *p) {
+    smp_rmb();
+    if (!p->flag) return;
+    g(p->data);
+}
+"""
+UNNEEDED = """
+struct d { int state; };
+void f(struct d *p) { p->state = 1; smp_wmb(); smp_mb(); g(); }
+"""
+
+
+def run(files, checks=None):
+    options = AnalysisOptions(
+        checks=frozenset(checks) if checks is not None else None
+    )
+    return OFenceEngine(KernelSource(files=files), options).analyze()
+
+
+class TestSelection:
+    def test_all_checks_by_default(self):
+        result = run({"a.c": MISPLACED, "b.c": UNNEEDED})
+        assert result.report.ordering_findings
+        assert result.report.unneeded_findings
+
+    def test_disable_misplaced(self):
+        result = run({"a.c": MISPLACED}, checks={"reread", "wrong-type"})
+        assert result.report.ordering_findings == []
+
+    def test_only_unneeded(self):
+        result = run({"a.c": MISPLACED, "b.c": UNNEEDED},
+                     checks={"unneeded"})
+        assert result.report.ordering_findings == []
+        assert len(result.report.unneeded_findings) == 1
+
+    def test_disable_unneeded(self):
+        result = run({"b.c": UNNEEDED}, checks=ALL_CHECKS - {"unneeded"})
+        assert result.report.unneeded_findings == []
+
+    def test_annotate_requires_selection(self):
+        clean = MISPLACED.replace(
+            "smp_rmb();\n    if (!p->flag) return;",
+            "if (!p->flag) return;\n    smp_rmb();",
+        )
+        with_annotations = run({"a.c": clean}, checks=ALL_CHECKS)
+        without = run({"a.c": clean}, checks=ALL_CHECKS - {"annotate"})
+        assert with_annotations.report.annotation_findings
+        assert without.report.annotation_findings == []
+
+    def test_unknown_check_rejected(self):
+        with pytest.raises(ValueError, match="unknown checks"):
+            CheckerSuite(checks={"frobnicate"})
+
+    def test_legacy_annotate_flag_still_works(self):
+        suite = CheckerSuite(annotate=False)
+        assert not suite.enabled("annotate")
+        assert suite.enabled("misplaced")
+
+    def test_all_checks_constant_matches_suite(self):
+        suite = CheckerSuite()
+        assert all(suite.enabled(name) for name in ALL_CHECKS)

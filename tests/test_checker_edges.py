@@ -1,0 +1,187 @@
+"""Edge-case coverage for the §5 checkers."""
+
+import pytest
+
+from repro.checkers.model import DeviationKind
+from repro.checkers.unneeded import UnneededBarrierChecker
+from repro.kernel.barriers import BarrierKind
+
+
+def unneeded(analyze, body):
+    src = f"struct d {{ int s; }};\nvoid f(struct d *p)\n{{\n{body}\n}}\n"
+    report = analyze(src).check()
+    return report.unneeded_findings
+
+
+class TestUnneededSubsumptionMatrix:
+    """Which successor subsumes which barrier (§5.1)."""
+
+    @pytest.mark.parametrize("first,second,redundant", [
+        ("smp_wmb();", "smp_mb();", True),     # full subsumes write
+        ("smp_rmb();", "smp_mb();", True),     # full subsumes read
+        ("smp_wmb();", "smp_wmb();", True),    # write subsumes write
+        ("smp_rmb();", "smp_rmb();", True),    # read subsumes read
+        ("smp_wmb();", "smp_rmb();", False),   # read does NOT subsume write
+        ("smp_rmb();", "smp_wmb();", False),   # write does NOT subsume read
+        ("smp_mb();", "smp_wmb();", False),    # write does NOT subsume full
+        ("smp_mb();", "smp_mb();", True),      # full subsumes full
+    ])
+    def test_barrier_pairs(self, analyze, first, second, redundant):
+        findings = unneeded(analyze, f"\tp->s = 1;\n\t{first}\n\t{second}")
+        assert bool(findings) == redundant
+
+    def test_atomic_modifier_never_subsumes(self, analyze):
+        findings = unneeded(
+            analyze, "\tp->s = 1;\n\tsmp_wmb();\n\tsmp_mb__before_atomic();"
+        )
+        assert findings == []
+
+    def test_gap_of_one_statement_blocks_redundancy(self, analyze):
+        findings = unneeded(
+            analyze, "\tp->s = 1;\n\tsmp_wmb();\n\tcpu_relax();\n\tsmp_mb();"
+        )
+        assert findings == []
+
+    def test_only_first_barrier_reported(self, analyze):
+        findings = unneeded(
+            analyze, "\tp->s = 1;\n\tsmp_wmb();\n\tsmp_mb();"
+        )
+        assert len(findings) == 1
+        assert findings[0].barrier.primitive == "smp_wmb"
+
+    def test_seqcount_helpers_exempt(self, analyze):
+        # A seqcount helper right before a barrier embeds its own by
+        # design and is not "unneeded".
+        src = """
+        struct d { seqcount_t seq; };
+        void f(struct d *p) {
+            write_seqcount_begin(&p->seq);
+            smp_mb();
+        }
+        """
+        report = analyze(src).check()
+        helpers = [
+            f for f in report.unneeded_findings
+            if f.barrier.is_seqcount_helper
+        ]
+        assert helpers == []
+
+
+class TestMisplacedBias:
+    def test_fix_always_targets_the_reader(self, analyze):
+        # Even when the *writer* could equally be rearranged, the patch
+        # bias of §5.2 moves the read.
+        src = """
+        struct s { int flag; int data; };
+        void w(struct s *p) { p->data = 1; smp_wmb(); p->flag = 1; }
+        void r(struct s *p) {
+            smp_rmb();
+            if (!p->flag) return;
+            g(p->data);
+        }
+        """
+        report = analyze(src).check()
+        (finding,) = report.ordering_findings
+        assert finding.function == "r"
+        assert finding.fix_action.value == "move-read"
+
+    def test_closest_offending_read_selected(self, analyze):
+        src = """
+        struct s { int flag; int data; };
+        void w(struct s *p) { p->data = 1; smp_wmb(); p->flag = 1; }
+        void r(struct s *p) {
+            smp_rmb();
+            g(p->flag);
+            h(p->flag);
+            g(p->data);
+        }
+        """
+        report = analyze(src).check()
+        findings = [
+            f for f in report.ordering_findings
+            if f.kind is DeviationKind.MISPLACED_ACCESS
+        ]
+        assert len(findings) == 1
+        assert findings[0].use.distance == 1
+
+
+class TestWrongTypeEdges:
+    def test_mixed_uses_not_flagged(self, analyze):
+        # A read barrier whose window has both reads and writes of the
+        # common objects is not "only ordering writes".
+        src = """
+        struct s { int flag; int data; };
+        void w(struct s *p) { p->data = 1; smp_wmb(); p->flag = 1; }
+        void w2(struct s *p) {
+            g(p->data);
+            p->data = 2;
+            smp_rmb();
+            p->flag = 2;
+        }
+        int r(struct s *p) {
+            if (!p->flag) return 0;
+            smp_rmb();
+            g(p->data);
+            return 1;
+        }
+        """
+        report = analyze(src).check()
+        wrong = [
+            f for f in report.ordering_findings
+            if f.kind is DeviationKind.WRONG_BARRIER_TYPE
+        ]
+        assert wrong == []
+
+    def test_reader_with_wmb_flagged(self, analyze):
+        # The inverse deviation: a write barrier ordering only reads.
+        src = """
+        struct s { int flag; int data; };
+        void w(struct s *p) { p->data = 1; smp_wmb(); p->flag = 1; }
+        void w2(struct s *p) { p->data = 3; smp_wmb(); p->flag = 3; }
+        int r(struct s *p) {
+            if (!p->flag) return 0;
+            smp_wmb();
+            g(p->data);
+            return 1;
+        }
+        """
+        report = analyze(src).check()
+        wrong = [
+            f for f in report.ordering_findings
+            if f.kind is DeviationKind.WRONG_BARRIER_TYPE
+        ]
+        assert len(wrong) == 1
+        assert wrong[0].function == "r"
+        assert wrong[0].details["replacement"] == "smp_rmb"
+
+
+class TestSeqcountEdges:
+    def test_read_before_opening_barrier_flagged(self, analyze):
+        # Payload read before the version pre-check region.
+        src = """
+        struct cnt { unsigned seq; long bcnt; long pcnt; };
+        void wr(struct cnt *s) {
+            s->seq++;
+            smp_wmb();
+            s->bcnt += 1;
+            s->pcnt += 1;
+            smp_wmb();
+            s->seq++;
+        }
+        long rd(struct cnt *s) {
+            unsigned v;
+            long b;
+            long p;
+            prefetch(s->bcnt);
+            do {
+                v = s->seq;
+                smp_rmb();
+                b = s->bcnt;
+                p = s->pcnt;
+                smp_rmb();
+            } while (v != s->seq);
+            return b + p;
+        }
+        """
+        report = analyze(src).check()
+        assert report.ordering_findings  # the escaped pre-read is caught

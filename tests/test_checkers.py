@@ -1,0 +1,414 @@
+"""Unit tests for the §5 deviation checkers."""
+
+from repro.checkers.model import DeviationKind, FixAction
+
+
+def findings_of(report, kind):
+    return [f for f in report.all_findings if f.kind is kind]
+
+
+class TestMisplacedAccess:
+    PATCH1 = """
+    struct rqst { int len; int recd; int out; };
+    void complete(struct rqst *req) {
+        req->len = 10;
+        smp_wmb();
+        req->recd = 1;
+    }
+    void decode(struct rqst *req) {
+        smp_rmb();
+        if (!req->recd)
+            return;
+        req->out = req->len;
+    }
+    """
+
+    def test_patch1_detected(self, analyze):
+        report = analyze(self.PATCH1).check()
+        (finding,) = findings_of(report, DeviationKind.MISPLACED_ACCESS)
+        assert finding.function == "decode"
+        assert finding.object_key.field == "recd"
+        assert finding.fix_action is FixAction.MOVE_READ
+        assert finding.details["move_to"] == "before"
+
+    def test_correct_code_produces_no_finding(self, listing1, analyze):
+        report = analyze(listing1).check()
+        assert report.ordering_findings == []
+
+    def test_fix_is_biased_towards_moving_the_read(self, analyze):
+        report = analyze(self.PATCH1).check()
+        (finding,) = report.ordering_findings
+        # The finding targets the reader function, not the writer.
+        assert finding.function == "decode"
+
+    def test_misplaced_read_before_instead_of_after(self, analyze):
+        src = """
+        struct s { int flag; int data; };
+        void w(struct s *p) { p->data = 1; smp_wmb(); p->flag = 1; }
+        void r(struct s *p) {
+            g(p->data);
+            if (!p->flag) return;
+            smp_rmb();
+            done();
+        }
+        """
+        report = analyze(src).check()
+        (finding,) = findings_of(report, DeviationKind.MISPLACED_ACCESS)
+        assert finding.object_key.field == "data"
+        assert finding.details["move_to"] == "after"
+
+    def test_explanation_names_shared_object(self, analyze):
+        report = analyze(self.PATCH1).check()
+        (finding,) = report.ordering_findings
+        assert "(struct rqst, recd)" in finding.explanation
+
+    def test_bnx2x_pattern_is_flagged_as_designed(self, analyze):
+        # Listing 4: a field written on both sides of the barrier breaks
+        # OFence's assumptions; the (incorrect) patch is still produced.
+        src = """
+        struct bp { unsigned long sp_state; int mode; };
+        void sp_event(struct bp *bp) {
+            bp->mode = 1;
+            set_bit(0, &bp->sp_state);
+            smp_wmb();
+            clear_bit(1, &bp->sp_state);
+        }
+        int sp_poll(struct bp *bp) {
+            if (!(bp->sp_state & 1))
+                return 0;
+            smp_rmb();
+            consume(bp->mode);
+            return 1;
+        }
+        """
+        report = analyze(src).check()
+        findings = findings_of(report, DeviationKind.MISPLACED_ACCESS)
+        assert len(findings) == 1
+        assert findings[0].object_key.field == "sp_state"
+
+
+class TestRepeatedRead:
+    PATCH3 = """
+    struct reuse { int socks; int num_socks; };
+    void add_sock(struct reuse *r) {
+        r->socks = 1;
+        smp_wmb();
+        r->num_socks++;
+    }
+    int select_sock(struct reuse *r) {
+        int num = r->num_socks;
+        if (num == 0)
+            return 0;
+        smp_rmb();
+        consume(r->socks);
+        consume(r->num_socks);
+        return num;
+    }
+    """
+
+    PATCH2 = """
+    struct ev { int task; int filters; };
+    void install(struct ev *e) {
+        e->filters = 4;
+        smp_wmb();
+        e->task = 1;
+    }
+    void apply(struct ev *e) {
+        int task = e->task;
+        if (task == 0)
+            return;
+        get_task_mm(e->task);
+        smp_rmb();
+        consume(e->filters);
+    }
+    """
+
+    def test_patch3_cross_barrier_reread(self, analyze):
+        report = analyze(self.PATCH3).check()
+        (finding,) = findings_of(report, DeviationKind.REPEATED_READ)
+        assert finding.object_key.field == "num_socks"
+        assert finding.fix_action is FixAction.REUSE_VALUE
+        assert finding.details["captured"] == "num"
+
+    def test_patch3_not_double_reported_as_misplaced(self, analyze):
+        report = analyze(self.PATCH3).check()
+        misplaced = findings_of(report, DeviationKind.MISPLACED_ACCESS)
+        assert all(f.object_key.field != "num_socks" for f in misplaced)
+
+    def test_patch2_guarded_reread(self, analyze):
+        report = analyze(self.PATCH2).check()
+        (finding,) = findings_of(report, DeviationKind.REPEATED_READ)
+        assert finding.object_key.field == "task"
+        assert finding.details["captured"] == "task"
+
+    def test_reference_points_to_first_read(self, analyze):
+        report = analyze(self.PATCH3).check()
+        (finding,) = findings_of(report, DeviationKind.REPEATED_READ)
+        assert finding.reference_use.stmt_id < finding.use.stmt_id
+
+    def test_single_read_is_fine(self, listing1, analyze):
+        report = analyze(listing1).check()
+        assert findings_of(report, DeviationKind.REPEATED_READ) == []
+
+    def test_double_read_without_guard_or_barrier_cross_ignored(self, analyze):
+        src = """
+        struct s { int flag; int data; };
+        void w(struct s *p) { p->data = 1; smp_wmb(); p->flag = 1; }
+        void r(struct s *p) {
+            if (!p->flag) return;
+            smp_rmb();
+            g(p->data);
+            h(p->data);
+        }
+        """
+        report = analyze(src).check()
+        assert findings_of(report, DeviationKind.REPEATED_READ) == []
+
+
+class TestWrongBarrierType:
+    GROUP = """
+    struct ring { int slot; int head; };
+    void publish(struct ring *r) {
+        r->slot = 7;
+        smp_wmb();
+        r->head = 1;
+    }
+    void republish(struct ring *r) {
+        r->slot = 9;
+        smp_rmb();
+        r->head = 2;
+    }
+    int consume_ring(struct ring *r) {
+        if (!r->head)
+            return 0;
+        smp_rmb();
+        consume(r->slot);
+        return 1;
+    }
+    """
+
+    def test_read_barrier_ordering_writes_flagged(self, analyze):
+        report = analyze(self.GROUP).check()
+        (finding,) = findings_of(report, DeviationKind.WRONG_BARRIER_TYPE)
+        assert finding.function == "republish"
+        assert finding.details["replacement"] == "smp_wmb"
+
+    def test_correct_barrier_types_not_flagged(self, listing1, analyze):
+        report = analyze(listing1).check()
+        assert findings_of(report, DeviationKind.WRONG_BARRIER_TYPE) == []
+
+    def test_full_barrier_never_wrong_type(self, analyze):
+        src = """
+        struct s { int flag; int data; };
+        void w(struct s *p) { p->data = 1; smp_mb(); p->flag = 1; }
+        void r(struct s *p) {
+            if (!p->flag) return;
+            smp_rmb();
+            g(p->data);
+        }
+        """
+        report = analyze(src).check()
+        assert findings_of(report, DeviationKind.WRONG_BARRIER_TYPE) == []
+
+
+class TestUnneededBarrier:
+    def test_patch4_barrier_before_wakeup(self, analyze):
+        src = """
+        struct d { int got_token; int task; };
+        int wake_fn(struct d *data) {
+            data->got_token = 1;
+            smp_wmb();
+            wake_up_process(data->task);
+            return 1;
+        }
+        """
+        report = analyze(src).check()
+        (finding,) = findings_of(report, DeviationKind.UNNEEDED_BARRIER)
+        assert finding.fix_action is FixAction.REMOVE_BARRIER
+        assert finding.details["subsumed_by"] == "wake_up_process"
+
+    def test_barrier_before_full_barrier(self, analyze):
+        src = """
+        struct d { int state; };
+        void f(struct d *p) { p->state = 1; smp_wmb(); smp_mb(); g(); }
+        """
+        report = analyze(src).check()
+        assert len(findings_of(report, DeviationKind.UNNEEDED_BARRIER)) == 1
+
+    def test_wmb_before_rmb_not_redundant(self, analyze):
+        src = """
+        struct d { int state; };
+        void f(struct d *p) { p->state = 1; smp_wmb(); smp_rmb(); g(); }
+        """
+        report = analyze(src).check()
+        assert findings_of(report, DeviationKind.UNNEEDED_BARRIER) == []
+
+    def test_barrier_before_plain_atomic_not_redundant(self, analyze):
+        src = """
+        struct d { int refs; };
+        void f(struct d *p) { smp_mb(); atomic_inc(&p->refs); }
+        """
+        report = analyze(src).check()
+        assert findings_of(report, DeviationKind.UNNEEDED_BARRIER) == []
+
+    def test_barrier_before_ordered_atomic_redundant(self, analyze):
+        src = """
+        struct d { int refs; };
+        void f(struct d *p) { smp_mb(); atomic_inc_return(&p->refs); }
+        """
+        report = analyze(src).check()
+        assert len(findings_of(report, DeviationKind.UNNEEDED_BARRIER)) == 1
+
+    def test_distant_wakeup_not_redundant(self, analyze):
+        src = """
+        struct d { int a; int b; };
+        void f(struct d *p) {
+            p->a = 1;
+            smp_wmb();
+            p->b = 1;
+            wake_up(q);
+        }
+        """
+        report = analyze(src).check()
+        assert findings_of(report, DeviationKind.UNNEEDED_BARRIER) == []
+
+    def test_paired_barrier_not_checked_for_redundancy(self, analyze):
+        src = """
+        struct s { int flag; int data; };
+        void w(struct s *p) {
+            p->data = 1;
+            smp_wmb();
+            p->flag = 1;
+        }
+        void r(struct s *p) {
+            if (!p->flag) return;
+            smp_rmb();
+            g(p->data);
+        }
+        """
+        report = analyze(src).check()
+        assert findings_of(report, DeviationKind.UNNEEDED_BARRIER) == []
+
+
+class TestSeqcount:
+    BUGGY = """
+    struct cnt { unsigned seq; long bcnt; long pcnt; };
+    void add(struct cnt *s) {
+        s->seq++;
+        smp_wmb();
+        s->bcnt += 1;
+        s->pcnt += 1;
+        smp_wmb();
+        s->seq++;
+    }
+    long get(struct cnt *s) {
+        unsigned v;
+        long b;
+        long p;
+        do {
+            v = s->seq;
+            smp_rmb();
+            b = s->bcnt;
+            p = s->pcnt;
+            smp_rmb();
+        } while (v != s->seq);
+        report(s->bcnt);
+        return b + p;
+    }
+    """
+
+    def test_escaped_reread_detected(self, analyze):
+        report = analyze(self.BUGGY).check()
+        (finding,) = findings_of(report, DeviationKind.REPEATED_READ)
+        assert finding.object_key.field == "bcnt"
+        assert finding.details["captured"] == "b"
+
+    def test_correct_seqcount_has_no_findings(self, analyze):
+        src = self.BUGGY.replace("report(s->bcnt);\n", "")
+        report = analyze(src).check()
+        assert report.ordering_findings == []
+
+    def test_non_duo_multi_pairing_skipped(self, analyze):
+        # Three readers + one writer does not match the Figure 5 shape.
+        src = """
+        struct s { int flag; int data; };
+        void w(struct s *p) { p->data = 1; smp_wmb(); p->flag = 1; }
+        void r1(struct s *p) { if (!p->flag) return; smp_rmb(); g(p->data); }
+        void r2(struct s *p) { if (!p->flag) return; smp_rmb(); g(p->data); }
+        void r3(struct s *p) { if (!p->flag) return; smp_rmb(); g(p->data); }
+        """
+        report = analyze(src).check()
+        assert report.ordering_findings == []
+
+
+class TestAnnotations:
+    def test_correct_pairing_gets_annotations(self, listing1, analyze):
+        report = analyze(listing1).check(annotate=True)
+        findings = findings_of(report, DeviationKind.MISSING_ANNOTATION)
+        assert findings, "correct pairing should yield annotation findings"
+        macros = {f.details["macro"] for f in findings}
+        assert macros == {"READ_ONCE", "WRITE_ONCE"}
+
+    def test_buggy_pairing_not_annotated(self, analyze):
+        report = analyze(TestMisplacedAccess.PATCH1).check(annotate=True)
+        assert findings_of(report, DeviationKind.MISSING_ANNOTATION) == []
+
+    def test_already_annotated_access_skipped(self, analyze):
+        src = """
+        struct s { int flag; int data; };
+        void w(struct s *p) {
+            p->data = 1;
+            smp_wmb();
+            WRITE_ONCE(p->flag, 1);
+        }
+        void r(struct s *p) {
+            if (!READ_ONCE(p->flag)) return;
+            smp_rmb();
+            g(p->data);
+        }
+        """
+        report = analyze(src).check(annotate=True)
+        flagged = {
+            f.object_key.field
+            for f in findings_of(report, DeviationKind.MISSING_ANNOTATION)
+        }
+        assert "flag" not in flagged
+        assert "data" in flagged
+
+    def test_compound_rmw_not_annotated(self, analyze):
+        src = """
+        struct s { int flag; int cnt; };
+        void w(struct s *p) { p->cnt += 1; smp_wmb(); p->flag = 1; }
+        void r(struct s *p) {
+            if (!p->flag) return;
+            smp_rmb();
+            g(p->cnt);
+        }
+        """
+        report = analyze(src).check(annotate=True)
+        writes = [
+            f for f in findings_of(report, DeviationKind.MISSING_ANNOTATION)
+            if f.object_key.field == "cnt" and f.details["macro"] == "WRITE_ONCE"
+        ]
+        assert writes == []
+
+    def test_annotation_disabled_by_default_in_helper(self, listing1, analyze):
+        report = analyze(listing1).check(annotate=False)
+        assert report.annotation_findings == []
+
+
+class TestTable3Bucketing:
+    def test_breakdown_counts(self, analyze):
+        report = analyze(TestMisplacedAccess.PATCH1).check()
+        breakdown = report.table3_breakdown()
+        assert breakdown["Misplaced memory access"] == 1
+        assert sum(breakdown.values()) == 1
+
+    def test_unneeded_not_in_table3(self, analyze):
+        src = """
+        struct d { int state; };
+        void f(struct d *p) { p->state = 1; smp_wmb(); smp_mb(); g(); }
+        """
+        report = analyze(src).check()
+        assert sum(report.table3_breakdown().values()) == 0
+        assert len(report.unneeded_findings) == 1

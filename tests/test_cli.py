@@ -1,0 +1,80 @@
+"""Smoke tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def sources(tmp_path):
+    writer = tmp_path / "writer.c"
+    writer.write_text(
+        "struct s { int flag; int data; };\n"
+        "void w(struct s *p) { p->data = 1; smp_wmb(); p->flag = 1; }\n"
+    )
+    reader = tmp_path / "reader.c"
+    reader.write_text(
+        "struct s { int flag; int data; };\n"
+        "void r(struct s *p) {\n"
+        "\tif (!p->flag) return;\n"
+        "\tsmp_rmb();\n"
+        "\tg(p->data);\n"
+        "}\n"
+    )
+    return writer, reader
+
+
+class TestAnalyzeCommand:
+    def test_pairs_two_files(self, sources, capsys):
+        writer, reader = sources
+        assert main(["analyze", str(writer), str(reader)]) == 0
+        out = capsys.readouterr().out
+        assert "2 barriers, 1 pairings" in out
+        assert "pairing:" in out
+
+    def test_patches_flag_prints_patches(self, sources, capsys):
+        writer, reader = sources
+        buggy = reader.parent / "buggy.c"
+        buggy.write_text(reader.read_text().replace(
+            "if (!p->flag) return;\n\tsmp_rmb();",
+            "smp_rmb();\n\tif (!p->flag) return;",
+        ))
+        assert main(["analyze", str(writer), str(buggy), "--patches"]) == 0
+        out = capsys.readouterr().out
+        assert "OFence-generated patch" in out
+
+    def test_window_options(self, sources, capsys):
+        writer, reader = sources
+        assert main([
+            "analyze", str(writer), str(reader),
+            "--write-window", "1", "--read-window", "10",
+        ]) == 0
+
+
+class TestCorpusCommands:
+    def test_corpus_report(self, capsys):
+        assert main(["corpus", "--small", "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 3" in out
+        assert "Section 6.4" in out
+
+    def test_report_includes_figure7(self, capsys):
+        assert main(["report", "--small", "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 7" in out
+
+    def test_sweep(self, capsys):
+        assert main(["sweep", "--small", "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 6" in out
+        assert "window=5" in out
+
+
+class TestArgumentErrors:
+    def test_missing_subcommand_exits(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_subcommand_exits(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

@@ -1,0 +1,181 @@
+"""Tests for comment extraction and comment-based pairing verification."""
+
+from repro.analysis.comments import (
+    attach_hints,
+    extract_hints,
+    verify_pairings,
+    verify_result,
+)
+from repro.cparse.comments import extract_comments
+
+
+class TestCommentExtraction:
+    def test_line_comment(self):
+        (comment,) = extract_comments("int a; // note here\n")
+        assert comment.text == "note here"
+        assert comment.line == 1
+        assert not comment.is_block
+
+    def test_block_comment(self):
+        (comment,) = extract_comments("/* hello */ int a;")
+        assert comment.text == "hello"
+        assert comment.is_block
+
+    def test_multiline_block_comment_joined(self):
+        src = "/*\n * first\n * second\n */\nint a;"
+        (comment,) = extract_comments(src)
+        assert comment.text == "first second"
+        assert comment.line == 1
+        assert comment.end_line == 4
+
+    def test_comment_like_text_in_string_ignored(self):
+        assert extract_comments('char *s = "/* not a comment */";') == []
+
+    def test_comment_like_text_in_char_ignored(self):
+        assert extract_comments("char c = '/'; int a; // real\n")[0].text \
+            == "real"
+
+    def test_line_numbers_across_comments(self):
+        src = "// one\nint a;\n// three\n"
+        comments = extract_comments(src)
+        assert [c.line for c in comments] == [1, 3]
+
+    def test_empty_source(self):
+        assert extract_comments("") == []
+
+
+class TestHintParsing:
+    def test_canonical_hint(self):
+        (hint,) = extract_hints(
+            "/* Paired with smp_rmb() in my_reader(). */\nsmp_wmb();",
+            "f.c",
+        )
+        assert hint.primitive == "smp_rmb"
+        assert hint.function == "my_reader"
+
+    def test_hint_without_function(self):
+        (hint,) = extract_hints("// pairs with smp_load_acquire\n", "f.c")
+        assert hint.primitive == "smp_load_acquire"
+        assert hint.function is None
+
+    def test_bracketed_barrier_form(self):
+        # Patch 5 in the paper: "Paired with [barrier] in poll_schedule".
+        (hint,) = extract_hints(
+            "/* Paired with [barrier] in poll_schedule */\n", "f.c"
+        )
+        assert hint.function == "poll_schedule"
+
+    def test_non_pairing_comment_ignored(self):
+        assert extract_hints("/* initialize the ring */\n", "f.c") == []
+
+    def test_case_insensitive(self):
+        (hint,) = extract_hints("/* PAIRED WITH smp_rmb in rd */\n", "f.c")
+        assert hint.function == "rd"
+
+
+SRC = """\
+struct s { int flag; int data; };
+void w(struct s *p)
+{
+\tp->data = 1;
+\t/* Paired with smp_rmb() in r(). */
+\tsmp_wmb();
+\tp->flag = 1;
+}
+void r(struct s *p)
+{
+\tif (!p->flag)
+\t\treturn;
+\tsmp_rmb();
+\tconsume(p->data);
+}
+"""
+
+
+class TestAttachment:
+    def test_hint_attaches_to_following_barrier(self, analyze):
+        a = analyze(SRC)
+        hints = extract_hints(SRC, "test.c")
+        attached = attach_hints(a.sites, hints)
+        (barrier_id,) = attached
+        assert "w" in barrier_id
+
+    def test_distant_comment_not_attached(self, analyze):
+        src = SRC.replace(
+            "\t/* Paired with smp_rmb() in r(). */\n\tsmp_wmb();",
+            "\t/* Paired with smp_rmb() in r(). */\n"
+            "\tcpu_relax();\n\tcpu_relax();\n\tcpu_relax();\n"
+            "\tcpu_relax();\n\tsmp_wmb();",
+        )
+        a = analyze(src)
+        attached = attach_hints(a.sites, extract_hints(src, "test.c"))
+        assert attached == {}
+
+
+class TestVerification:
+    def test_correct_pairing_confirmed(self, analyze):
+        a = analyze(SRC)
+        result = a.pair()
+        verification = verify_pairings(
+            result.pairings, a.sites, extract_hints(SRC, "test.c")
+        )
+        assert len(verification.confirmed) == 1
+        assert verification.contradicted == []
+        assert verification.agreement == 1.0
+
+    def test_wrong_function_hint_contradicted(self, analyze):
+        src = SRC.replace("in r()", "in some_other_reader()")
+        a = analyze(src)
+        result = a.pair()
+        verification = verify_pairings(
+            result.pairings, a.sites, extract_hints(src, "test.c")
+        )
+        assert len(verification.contradicted) == 1
+
+    def test_wrong_primitive_hint_contradicted(self, analyze):
+        src = SRC.replace("smp_rmb() in r()", "smp_load_acquire() in r()")
+        a = analyze(src)
+        verification = verify_pairings(
+            a.pair().pairings, a.sites, extract_hints(src, "test.c")
+        )
+        assert len(verification.contradicted) == 1
+
+    def test_coverage_counts(self, analyze):
+        a = analyze(SRC)
+        verification = verify_pairings(
+            a.pair().pairings, a.sites, extract_hints(SRC, "test.c")
+        )
+        assert verification.total_barriers == 2
+        assert verification.commented_barriers == 1
+        assert verification.comment_coverage == 0.5
+
+    def test_hint_on_unpaired_barrier_unmatched(self, analyze):
+        src = """
+struct s { int a; int b; };
+void lonely(struct s *p)
+{
+\tp->a = 1;
+\t/* paired with smp_rmb() in ghost_reader() */
+\tsmp_wmb();
+\tp->b = 1;
+}
+"""
+        a = analyze(src)
+        verification = verify_pairings(
+            a.pair().pairings, a.sites, extract_hints(src, "test.c")
+        )
+        assert len(verification.unmatched_hints) == 1
+
+
+class TestCorpusIntegration:
+    def test_corpus_comment_coverage_below_20_percent(self):
+        from repro.core.engine import OFenceEngine
+        from repro.corpus import CorpusSpec, generate_corpus
+
+        corpus = generate_corpus(CorpusSpec.small(), seed=3)
+        result = OFenceEngine(corpus.source).analyze()
+        verification = verify_result(result, corpus.source)
+        assert verification.comment_coverage < 0.20
+        assert verification.contradicted == []
+        # With comments injected only on correct pairs, agreement is 1.
+        assert verification.agreement == 1.0

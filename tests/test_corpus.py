@@ -1,0 +1,145 @@
+"""Tests for the synthetic corpus generator and ground truth."""
+
+import random
+
+import pytest
+
+from repro.corpus import CorpusSpec, generate_corpus
+from repro.corpus import templates
+from repro.cparse.parser import parse_source
+from repro.kernel.config import default_config
+
+
+@pytest.fixture(scope="module")
+def small_corpus():
+    return generate_corpus(CorpusSpec.small(), seed=11)
+
+
+class TestDeterminism:
+    def test_same_seed_same_corpus(self):
+        a = generate_corpus(CorpusSpec.small(), seed=3)
+        b = generate_corpus(CorpusSpec.small(), seed=3)
+        assert a.source.files == b.source.files
+        assert a.truth.bugs == b.truth.bugs
+
+    def test_different_seed_different_corpus(self):
+        a = generate_corpus(CorpusSpec.small(), seed=3)
+        b = generate_corpus(CorpusSpec.small(), seed=4)
+        assert a.source.files != b.source.files
+
+
+class TestStructure:
+    def test_file_counts(self, small_corpus):
+        spec = small_corpus.spec
+        total = (
+            spec.analyzed_files + spec.gated_files + spec.noise_files
+        )
+        assert len(small_corpus.source.files) == total
+
+    def test_every_file_parses(self, small_corpus):
+        config = default_config()
+        for path, text in small_corpus.source.files.items():
+            parse_source(
+                text, path, defines=config.defines(),
+                include_resolver=small_corpus.source.resolve_include,
+            )
+
+    def test_gated_files_have_disabled_options(self, small_corpus):
+        config = default_config()
+        gated = [
+            path for path, opt in small_corpus.source.file_options.items()
+            if not config.is_enabled(opt)
+        ]
+        assert len(gated) == small_corpus.spec.gated_files
+
+    def test_noise_files_have_no_barriers(self, small_corpus):
+        with_barriers = set(small_corpus.source.files_with_barriers())
+        noise = [p for p in small_corpus.source.files if "util_" in p]
+        assert noise
+        assert not (set(noise) & with_barriers)
+
+    def test_headers_include_generic_types(self, small_corpus):
+        assert "kernel_types.h" in small_corpus.source.headers
+        header = small_corpus.source.headers["kernel_types.h"]
+        assert "struct list_head" in header
+
+    def test_cross_file_struct_in_subsystem_header(self, small_corpus):
+        subsystem_headers = [
+            name for name in small_corpus.source.headers
+            if name != "kernel_types.h"
+        ]
+        assert subsystem_headers  # cross-file pairs exist at 30%
+
+
+class TestGroundTruth:
+    def test_bug_counts_match_spec(self, small_corpus):
+        spec = small_corpus.spec
+        assert len(small_corpus.truth.bugs) == spec.total_bugs + \
+            spec.unneeded_wakeup + spec.unneeded_double + spec.unneeded_atomic
+
+    def test_bug_files_exist(self, small_corpus):
+        for bug in small_corpus.truth.bugs:
+            assert bug.filename in small_corpus.source.files
+            assert bug.function in small_corpus.source.files[bug.filename]
+
+    def test_fp_files_exist(self, small_corpus):
+        for fp in small_corpus.truth.false_positives:
+            assert fp.filename in small_corpus.source.files
+
+    def test_function_pattern_map_covers_bug_functions(self, small_corpus):
+        for bug in small_corpus.truth.bugs:
+            assert bug.function in small_corpus.truth.function_pattern
+
+    def test_generic_patterns_registered(self, small_corpus):
+        assert len(small_corpus.truth.generic_patterns) >= \
+            2 * small_corpus.spec.generic_pairs
+
+
+class TestTemplates:
+    def test_all_templates_emit_parsable_code(self):
+        rng = random.Random(5)
+        emitters = [
+            templates.correct_pair("t01", rng),
+            templates.correct_pair("t02", rng, writer_pad=3,
+                                   reader_payload_pad=10),
+            templates.misplaced_pair("t03", rng),
+            templates.reread_cross_pair("t04", rng),
+            templates.reread_guard_pair("t05", rng),
+            templates.wrong_type_group("t06", rng),
+            templates.seqcount_group("t07", rng),
+            templates.seqcount_bug_group("t08", rng),
+            templates.unneeded_wakeup("t09", rng),
+            templates.unneeded_double_barrier("t10", rng),
+            templates.unneeded_atomic("t11", rng),
+            templates.ipc_pattern("t12", rng),
+            templates.solitary_pattern("t13", rng),
+            templates.bnx2x_fp_pair("t14", rng),
+            templates.sweep_noise_pattern("t15", rng, family=0),
+        ]
+        for pattern in emitters:
+            for chunk in pattern.chunks:
+                parse_source(chunk, pattern.pattern_id + ".c")
+
+    def test_cross_file_pattern_has_two_chunks_and_header(self):
+        rng = random.Random(5)
+        pattern = templates.correct_pair("x1", rng, cross_file=True)
+        assert len(pattern.chunks) == 2
+        assert "struct obj_x1" in pattern.header_code
+
+    def test_generic_pattern_chunks_parse_with_types_header(self):
+        rng = random.Random(5)
+        pattern = templates.generic_type_pair("g1", rng, type_index=0)
+        for chunk in pattern.chunks:
+            parse_source(chunk, "g.c")
+
+    def test_bug_records_reference_emitted_functions(self):
+        rng = random.Random(5)
+        pattern = templates.misplaced_pair("b1", rng)
+        (bug,) = pattern.bugs
+        assert bug.function in pattern.chunks[0]
+
+    def test_noise_functions_have_no_barriers(self):
+        rng = random.Random(5)
+        code = templates.noise_functions("n1", rng)
+        assert "smp_" not in code
+        parse_source(code, "n.c")

@@ -1,0 +1,222 @@
+"""Integration tests for the OFence engine."""
+
+import pytest
+
+from repro.analysis.barrier_scan import ScanLimits
+from repro.core.engine import AnalysisOptions, KernelSource, OFenceEngine
+from repro.core.report import (
+    EvaluationReport,
+    read_distance_histogram,
+    sweep_write_window,
+    write_distance_histogram,
+)
+from repro.corpus import CorpusSpec, generate_corpus, score_run
+from repro.kernel.config import KernelConfig, allyes_config
+
+
+WRITER = """
+struct shared { int flag; int data; };
+void w(struct shared *p) { p->data = 1; smp_wmb(); p->flag = 1; }
+"""
+READER = """
+struct shared { int flag; int data; };
+void r(struct shared *p) {
+    if (!p->flag) return;
+    smp_rmb();
+    g(p->data);
+}
+"""
+BUGGY_READER = """
+struct shared { int flag; int data; };
+void r(struct shared *p) {
+    smp_rmb();
+    if (!p->flag) return;
+    g(p->data);
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def small_run():
+    corpus = generate_corpus(CorpusSpec.small(), seed=42)
+    engine = OFenceEngine(corpus.source)
+    result = engine.analyze()
+    return corpus, engine, result
+
+
+class TestPipeline:
+    def test_two_file_pairing(self, engine_for):
+        engine = engine_for({"w.c": WRITER, "r.c": READER})
+        result = engine.analyze()
+        assert len(result.pairing.pairings) == 1
+        assert result.report.ordering_findings == []
+
+    def test_bug_detected_and_patched(self, engine_for):
+        engine = engine_for({"w.c": WRITER, "r.c": BUGGY_READER})
+        result = engine.analyze()
+        findings = result.report.ordering_findings
+        assert len(findings) == 1
+        (patch,) = [
+            p for p in result.patches
+            if p.finding.kind.value == "misplaced-memory-access"
+        ]
+        assert patch.applied
+
+    def test_stage_timings_recorded(self, engine_for):
+        result = engine_for({"w.c": WRITER}).analyze()
+        assert set(result.stage_seconds) == {"scan", "pair", "check", "patch"}
+
+    def test_parse_failures_reported_not_fatal(self, engine_for):
+        engine = engine_for({
+            "bad.c": "void f( { smp_wmb(); }",
+            "w.c": WRITER, "r.c": READER,
+        })
+        result = engine.analyze()
+        assert result.files_failed == ["bad.c"]
+        assert len(result.pairing.pairings) == 1
+
+
+class TestConfigGating:
+    def test_disabled_option_skips_file(self):
+        source = KernelSource(
+            files={"w.c": WRITER, "r.c": READER},
+            file_options={"r.c": "CONFIG_OFF"},
+        )
+        options = AnalysisOptions(config=KernelConfig(options={}))
+        result = OFenceEngine(source, options).analyze()
+        assert result.files_analyzed == 1
+        assert result.files_skipped_by_config == ["r.c"]
+        assert result.pairing.pairings == []
+
+    def test_enabled_option_analyzes_file(self):
+        source = KernelSource(
+            files={"w.c": WRITER, "r.c": READER},
+            file_options={"r.c": "CONFIG_ON"},
+        )
+        options = AnalysisOptions(
+            config=KernelConfig(options={"CONFIG_ON": True})
+        )
+        result = OFenceEngine(source, options).analyze()
+        assert result.files_analyzed == 2
+        assert len(result.pairing.pairings) == 1
+
+    def test_allyes_config_covers_gated_corpus_files(self):
+        corpus = generate_corpus(CorpusSpec.small(), seed=9)
+        options = AnalysisOptions(config=allyes_config())
+        result = OFenceEngine(corpus.source, options).analyze()
+        assert result.files_skipped_by_config == []
+
+
+class TestIncremental:
+    def test_reanalyze_detects_introduced_bug(self, engine_for):
+        engine = engine_for({"w.c": WRITER, "r.c": READER})
+        first = engine.analyze()
+        assert first.report.ordering_findings == []
+        second = engine.reanalyze_file("r.c", BUGGY_READER)
+        assert len(second.report.ordering_findings) == 1
+
+    def test_reanalyze_detects_fixed_bug(self, engine_for):
+        engine = engine_for({"w.c": WRITER, "r.c": BUGGY_READER})
+        first = engine.analyze()
+        assert len(first.report.ordering_findings) == 1
+        second = engine.reanalyze_file("r.c", READER)
+        assert second.report.ordering_findings == []
+
+    def test_reanalyze_without_text_change(self, engine_for):
+        engine = engine_for({"w.c": WRITER, "r.c": READER})
+        engine.analyze()
+        again = engine.reanalyze_file("r.c")
+        assert len(again.pairing.pairings) == 1
+
+    def test_incremental_faster_than_full_on_corpus(self, small_run):
+        corpus, engine, full = small_run
+        path = next(iter(corpus.source.files_with_barriers()))
+        incremental = engine.reanalyze_file(path)
+        # Incremental skips re-scanning every other file; on any corpus
+        # big enough to measure, the scan stage shrinks dramatically.
+        assert incremental.stage_seconds["scan"] <= \
+            max(full.stage_seconds["scan"], 1e-9)
+
+
+class TestCorpusScale:
+    def test_all_bugs_detected(self, small_run):
+        corpus, _, result = small_run
+        score = score_run(result, corpus.truth)
+        assert score.missed_bugs == []
+        assert score.unexpected_findings == []
+
+    def test_unneeded_count_matches(self, small_run):
+        corpus, _, result = small_run
+        assert len(result.report.unneeded_findings) == \
+            corpus.truth.expected_unneeded
+
+    def test_incorrect_pairings_are_generic(self, small_run):
+        corpus, _, result = small_run
+        score = score_run(result, corpus.truth)
+        assert score.incorrect_pairings == corpus.spec.generic_pairs
+
+    def test_detected_table3_shape(self, small_run):
+        corpus, _, result = small_run
+        score = score_run(result, corpus.truth)
+        table = score.detected_table3()
+        spec = corpus.spec
+        assert table["Misplaced memory access"] == spec.misplaced_bugs
+        assert table["Racy variable re-read after the read barrier"] == (
+            spec.reread_cross_bugs + spec.reread_guard_bugs
+            + spec.seqcount_bugs
+        )
+        assert table["Read barrier used instead of a write barrier"] == \
+            spec.wrong_type_bugs
+
+    def test_all_generated_patches_apply_or_explain(self, small_run):
+        _, _, result = small_run
+        for patch in result.patches:
+            if not patch.applied:
+                assert "manual" in patch.header.lower()
+
+
+class TestParallelWorkers:
+    def test_parallel_scan_matches_serial(self):
+        corpus = generate_corpus(CorpusSpec.small(), seed=13)
+        serial = OFenceEngine(corpus.source).analyze()
+        parallel = OFenceEngine(
+            corpus.source, AnalysisOptions(workers=2)
+        ).analyze()
+        assert len(parallel.pairing.pairings) == \
+            len(serial.pairing.pairings)
+        assert parallel.report.table3_breakdown() == \
+            serial.report.table3_breakdown()
+
+
+class TestReporting:
+    def test_report_renders_all_sections(self, small_run):
+        corpus, _, result = small_run
+        score = score_run(result, corpus.truth)
+        text = EvaluationReport(result, score).render()
+        for heading in ("Section 6.1", "Table 3", "Section 6.3",
+                        "Section 6.4", "Section 7"):
+            assert heading in text
+
+    def test_read_distance_histogram_counts_everything(self, small_run):
+        _, _, result = small_run
+        histogram = read_distance_histogram(result)
+        assert sum(histogram.counts) > 0
+        assert histogram.render()
+
+    def test_write_distances_cluster_near_barrier(self, small_run):
+        _, _, result = small_run
+        histogram = write_distance_histogram(result)
+        near = sum(histogram.counts[:5])
+        far = sum(histogram.counts[5:])
+        assert near > far  # Figure 6's claim
+
+    def test_window_sweep_monotone_up_to_plateau(self):
+        corpus = generate_corpus(CorpusSpec.small(), seed=21)
+        points = sweep_write_window(
+            corpus.source, [1, 3, 5, 10], corpus.truth
+        )
+        pairings = [p.pairings for p in points]
+        assert pairings[0] <= pairings[1] <= pairings[2]
+        # Larger windows may add (incorrect) pairings but never lose many.
+        assert points[3].pairings >= points[2].pairings
+        assert points[3].incorrect_pairings >= points[2].incorrect_pairings

@@ -1,0 +1,175 @@
+"""Failure-injection tests: the pipeline must degrade gracefully.
+
+A static analyzer over a living kernel tree constantly meets code it
+cannot handle; Smatch (and OFence) skip what they cannot parse and keep
+going.  These tests inject malformed inputs at every pipeline stage.
+"""
+
+import pytest
+
+from repro.core.engine import AnalysisOptions, KernelSource, OFenceEngine
+from repro.cparse.lexer import LexError, tokenize
+from repro.cparse.parser import ParseError, parse_source
+from repro.cparse.preprocessor import Preprocessor, PreprocessorError
+
+GOOD_PAIR = """
+struct s { int flag; int data; };
+void w(struct s *p) { p->data = 1; smp_wmb(); p->flag = 1; }
+void r(struct s *p) {
+    if (!p->flag) return;
+    smp_rmb();
+    g(p->data);
+}
+"""
+
+
+class TestLexerFailures:
+    def test_unexpected_byte(self):
+        with pytest.raises(LexError):
+            tokenize("int a = `backtick`;")
+
+    def test_error_message_has_position(self):
+        with pytest.raises(LexError) as exc:
+            tokenize("a\nb @", filename="x.c")
+        assert "x.c:2" in str(exc.value)
+
+    def test_lone_hash_midline_rejected_cleanly(self):
+        # '#' outside line-start is not a directive and not valid C.
+        with pytest.raises(LexError):
+            tokenize("int a # b;")
+
+
+class TestPreprocessorFailures:
+    def test_recursive_include_bounded(self):
+        headers = {"a.h": '#include "a.h"\nint x;'}
+        pp = Preprocessor(
+            include_resolver=lambda name, system: headers.get(name)
+        )
+        # The inclusion guard breaks the cycle instead of recursing.
+        tokens = pp.preprocess('#include "a.h"')
+        assert any(t.value == "x" for t in tokens)
+
+    def test_mutually_recursive_includes_bounded(self):
+        headers = {
+            "a.h": '#include "b.h"\nint a_sym;',
+            "b.h": '#include "a.h"\nint b_sym;',
+        }
+        pp = Preprocessor(
+            include_resolver=lambda name, system: headers.get(name)
+        )
+        tokens = pp.preprocess('#include "a.h"')
+        values = [t.value for t in tokens]
+        assert "a_sym" in values and "b_sym" in values
+
+    def test_garbage_condition(self):
+        with pytest.raises(PreprocessorError):
+            Preprocessor().preprocess("#if ((\nint a;\n#endif")
+
+
+class TestParserFailures:
+    @pytest.mark.parametrize("source", [
+        "void f( {",
+        "struct s { int a;",
+        "void f(void) { return",
+        "void f(void) { if }",
+        "int 5x;",
+        "void f(void) { a-> ; }",
+    ])
+    def test_malformed_inputs_raise_parse_error(self, source):
+        with pytest.raises((ParseError, LexError)):
+            parse_source(source, "bad.c")
+
+    def test_deeply_nested_expression_parses(self):
+        expr = "(" * 50 + "x" + ")" * 50
+        unit = parse_source(f"void f(void) {{ a = {expr}; }}", "deep.c")
+        assert unit.functions
+
+
+class TestEngineResilience:
+    def test_one_bad_file_does_not_poison_the_run(self, engine_for):
+        # The broken files must contain barrier calls so the regex
+        # pre-filter selects them for parsing at all.
+        engine = engine_for({
+            "good.c": GOOD_PAIR,
+            "bad1.c": "void broken( { smp_wmb();",
+            "bad2.c": "struct s { smp_rmb();",
+        })
+        result = engine.analyze()
+        assert sorted(result.files_failed) == ["bad1.c", "bad2.c"]
+        assert len(result.pairing.pairings) == 1
+
+    def test_empty_file(self, engine_for):
+        result = engine_for({"empty.c": ""}).analyze()
+        assert result.total_barriers == 0
+        assert result.files_with_barriers == 0
+
+    def test_file_with_only_comments(self, engine_for):
+        result = engine_for({"c.c": "/* smp_wmb(); */\n"}).analyze()
+        # The regex pre-filter may select it, but parsing finds no sites.
+        assert result.total_barriers == 0
+
+    def test_barrier_in_dead_preprocessor_branch(self, engine_for):
+        src = (
+            "struct s { int a; };\n"
+            "#ifdef CONFIG_NEVER\n"
+            "void f(struct s *p) { smp_wmb(); }\n"
+            "#endif\n"
+            "void g(struct s *p) { p->a = 1; }\n"
+        )
+        result = engine_for({"dead.c": src}).analyze()
+        assert result.total_barriers == 0
+
+    def test_reanalyze_file_becoming_unparsable(self, engine_for):
+        engine = engine_for({"a.c": GOOD_PAIR})
+        first = engine.analyze()
+        assert len(first.pairing.pairings) == 1
+        second = engine.reanalyze_file("a.c", "void broken( { smp_wmb();")
+        assert "a.c" in second.files_failed
+        assert second.pairing.pairings == []
+
+    def test_reanalyze_file_losing_its_barriers(self, engine_for):
+        engine = engine_for({"a.c": GOOD_PAIR})
+        engine.analyze()
+        second = engine.reanalyze_file(
+            "a.c", "struct s { int a; };\nvoid f(struct s *p) { p->a = 1; }\n"
+        )
+        assert second.total_barriers == 0
+
+    def test_function_with_empty_body(self, engine_for):
+        result = engine_for({"e.c": "void f(void) { }"}).analyze()
+        assert result.total_barriers == 0
+
+    def test_barrier_as_first_and_last_statement(self, engine_for):
+        src = "void f(void) { smp_mb(); }"
+        result = engine_for({"b.c": src}).analyze()
+        assert result.total_barriers == 1
+        assert result.pairing.pairings == []
+
+    def test_huge_function_bounded_by_windows(self, engine_for):
+        body = "\n".join(f"\tcpu_relax();" for _ in range(500))
+        src = (
+            "struct s { int a; int b; };\n"
+            "void f(struct s *p)\n{\n"
+            f"\tp->a = 1;\n{body}\n\tsmp_wmb();\n\tp->b = 1;\n}}\n"
+        )
+        result = engine_for({"huge.c": src}).analyze()
+        (site,) = result.sites
+        # 'a' is 501 statements away: outside every window.
+        fields = {u.key.field for u in site.uses}
+        assert fields == {"b"}
+
+
+class TestPatchRobustness:
+    def test_patch_generation_survives_missing_cfg(self):
+        from repro.checkers.model import DeviationKind, Finding, FixAction
+        from repro.patching.generate import PatchGenerator
+
+        finding = Finding(
+            kind=DeviationKind.MISPLACED_ACCESS,
+            filename="x.c", function="f", line=1,
+            explanation="synthetic", fix_action=FixAction.MOVE_READ,
+        )
+        generator = PatchGenerator({"x.c": "void f(void) { }\n"})
+        patch = generator.generate(finding)
+        assert patch is not None
+        assert not patch.applied

@@ -1,0 +1,166 @@
+"""Tests for additional kernel idioms the frontend must digest."""
+
+from repro.analysis.accesses import ObjectKey
+from repro.cparse import astnodes as ast
+from repro.cparse.parser import parse_source
+from repro.cparse.typesys import Scope, TypeInferencer, TypeRegistry
+
+
+class TestContainerOf:
+    SRC = """
+    struct inner { int val; };
+    struct outer { struct inner member; int flags; };
+    void f(struct inner *p) {
+        container_of(p, struct outer, member)->flags;
+    }
+    """
+
+    def test_parses(self):
+        unit = parse_source(self.SRC, "c.c")
+        (stmt,) = unit.functions[0].body.stmts
+        assert isinstance(stmt.expr, ast.Member)
+        assert stmt.expr.fieldname == "flags"
+
+    def test_type_resolved_through_container_of(self):
+        unit = parse_source(self.SRC, "c.c")
+        registry = TypeRegistry()
+        registry.add_unit(unit)
+        fn = unit.functions[0]
+        scope = Scope(registry)
+        for param in fn.params:
+            scope.declare_param(param)
+        infer = TypeInferencer(registry, scope)
+        member = fn.body.stmts[0].expr
+        assert infer.struct_of_member(member) == "outer"
+
+    def test_access_key_resolved_in_analysis(self, analyze):
+        src = """
+        struct inner { int val; };
+        struct outer { struct inner member; int flags; int ready; };
+        void w(struct inner *p) {
+            container_of(p, struct outer, member)->flags = 1;
+            smp_wmb();
+            container_of(p, struct outer, member)->ready = 1;
+        }
+        """
+        site = analyze(src).site("w")
+        keys = {u.key for u in site.uses}
+        assert ObjectKey("outer", "flags") in keys
+        assert ObjectKey("outer", "ready") in keys
+
+    def test_container_of_pairing_end_to_end(self, analyze):
+        src = """
+        struct inner { int val; };
+        struct outer { struct inner member; int flags; int ready; };
+        void w(struct inner *p) {
+            container_of(p, struct outer, member)->flags = 1;
+            smp_wmb();
+            container_of(p, struct outer, member)->ready = 1;
+        }
+        int r(struct outer *o) {
+            if (!o->ready)
+                return 0;
+            smp_rmb();
+            g(o->flags);
+            return 1;
+        }
+        """
+        result = analyze(src).pair()
+        assert len(result.pairings) == 1
+
+
+class TestLikelyUnlikely:
+    def test_accesses_inside_likely_extracted(self, analyze):
+        src = """
+        struct s { int flag; int data; };
+        void w(struct s *p) { p->data = 1; smp_wmb(); p->flag = 1; }
+        int r(struct s *p) {
+            if (unlikely(!p->flag))
+                return 0;
+            smp_rmb();
+            g(p->data);
+            return 1;
+        }
+        """
+        result = analyze(src).pair()
+        assert len(result.pairings) == 1
+
+    def test_no_findings_on_correct_likely_code(self, analyze):
+        src = """
+        struct s { int flag; int data; };
+        void w(struct s *p) { p->data = 1; smp_wmb(); p->flag = 1; }
+        int r(struct s *p) {
+            if (likely(p->flag)) {
+                smp_rmb();
+                g(p->data);
+            }
+            return 0;
+        }
+        """
+        report = analyze(src).check()
+        assert report.ordering_findings == []
+
+
+class TestMiscIdioms:
+    def test_do_while_zero_macro_shape(self):
+        unit = parse_source(
+            "void f(int a) { do { g(a); } while (0); }", "m.c"
+        )
+        (loop,) = unit.functions[0].body.stmts
+        assert isinstance(loop, ast.DoWhile)
+
+    def test_goto_error_unwinding_chain(self, analyze):
+        src = """
+        struct s { int flag; int data; };
+        int r(struct s *p) {
+            if (!p->flag)
+                goto out_unlock;
+            smp_rmb();
+            g(p->data);
+            return 1;
+        out_unlock:
+            unlock();
+            return 0;
+        }
+        void w(struct s *p) { p->data = 1; smp_wmb(); p->flag = 1; }
+        """
+        result = analyze(src).pair()
+        assert len(result.pairings) == 1
+
+    def test_array_of_structs_field_access(self, analyze):
+        src = """
+        struct slot { int busy; int data; };
+        struct ring { struct slot slots[16]; };
+        void w(struct ring *r, int i) {
+            r->slots[i].data = 1;
+            smp_wmb();
+            r->slots[i].busy = 1;
+        }
+        int rd(struct ring *r, int i) {
+            if (!r->slots[i].busy)
+                return 0;
+            smp_rmb();
+            g(r->slots[i].data);
+            return 1;
+        }
+        """
+        result = analyze(src).pair()
+        (pairing,) = result.pairings
+        assert ObjectKey("slot", "busy") in set(pairing.common_objects)
+
+    def test_ternary_in_barrier_function(self, analyze):
+        src = """
+        struct s { int flag; int data; };
+        void w(struct s *p, int c) {
+            p->data = c ? 1 : 2;
+            smp_wmb();
+            p->flag = 1;
+        }
+        int r(struct s *p) {
+            if (!p->flag) return 0;
+            smp_rmb();
+            return p->data;
+        }
+        """
+        result = analyze(src).pair()
+        assert len(result.pairings) == 1

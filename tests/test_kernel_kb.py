@@ -1,0 +1,161 @@
+"""Tests for the kernel knowledge base (Tables 1 and 2, wakeups, config)."""
+
+from repro.kernel.barriers import (
+    BARRIER_PRIMITIVES,
+    BarrierKind,
+    ImpliedAccess,
+    barrier_spec,
+    is_barrier_call,
+)
+from repro.kernel.config import (
+    SUBSYSTEM_OPTIONS,
+    KernelConfig,
+    allyes_config,
+    default_config,
+)
+from repro.kernel.semantics import (
+    FUNCTION_SEMANTICS,
+    has_barrier_semantics,
+    semantics_of,
+)
+from repro.kernel.wakeups import WAKEUP_FUNCTIONS, is_wakeup_call
+
+
+class TestTable1:
+    def test_exactly_eight_primitives(self):
+        assert len(BARRIER_PRIMITIVES) == 8
+
+    def test_table1_names(self):
+        assert set(BARRIER_PRIMITIVES) == {
+            "smp_rmb", "smp_wmb", "smp_mb", "smp_store_mb",
+            "smp_store_release", "smp_load_acquire",
+            "smp_mb__before_atomic", "smp_mb__after_atomic",
+        }
+
+    def test_rmb_orders_reads_only(self):
+        spec = barrier_spec("smp_rmb")
+        assert spec.kind is BarrierKind.READ
+        assert spec.is_read_barrier and not spec.is_write_barrier
+
+    def test_wmb_orders_writes_only(self):
+        spec = barrier_spec("smp_wmb")
+        assert spec.is_write_barrier and not spec.is_read_barrier
+
+    def test_mb_orders_both(self):
+        spec = barrier_spec("smp_mb")
+        assert spec.is_read_barrier and spec.is_write_barrier
+
+    def test_store_release_writes_after_barrier(self):
+        spec = barrier_spec("smp_store_release")
+        assert spec.implied_access is ImpliedAccess.STORE_AFTER
+
+    def test_store_mb_writes_before_barrier(self):
+        spec = barrier_spec("smp_store_mb")
+        assert spec.implied_access is ImpliedAccess.STORE_BEFORE
+
+    def test_load_acquire_reads_before_barrier(self):
+        spec = barrier_spec("smp_load_acquire")
+        assert spec.implied_access is ImpliedAccess.LOAD_BEFORE
+
+    def test_atomic_modifiers_flagged(self):
+        assert barrier_spec("smp_mb__before_atomic").atomic_modifier
+        assert barrier_spec("smp_mb__after_atomic").atomic_modifier
+
+    def test_is_barrier_call(self):
+        assert is_barrier_call("smp_wmb")
+        assert not is_barrier_call("printk")
+
+    def test_unknown_spec_is_none(self):
+        assert barrier_spec("not_a_barrier") is None
+
+
+class TestTable2:
+    def test_atomic_inc_is_not_a_barrier(self):
+        spec = semantics_of("atomic_inc")
+        assert not spec.memory_barrier and not spec.compiler_barrier
+
+    def test_atomic_inc_and_test_is_a_barrier(self):
+        spec = semantics_of("atomic_inc_and_test")
+        assert spec.memory_barrier and spec.compiler_barrier
+
+    def test_set_bit_is_not_a_barrier(self):
+        assert not semantics_of("set_bit").memory_barrier
+
+    def test_test_and_set_bit_is_a_barrier(self):
+        assert semantics_of("test_and_set_bit").memory_barrier
+
+    def test_wake_up_process_is_a_barrier(self):
+        spec = semantics_of("wake_up_process")
+        assert spec.memory_barrier and spec.is_wakeup
+
+    def test_value_returning_rmw_are_ordered(self):
+        for name in ("atomic_inc_return", "atomic_dec_and_test",
+                     "atomic_cmpxchg", "xchg", "cmpxchg"):
+            assert has_barrier_semantics(name), name
+
+    def test_void_atomics_are_not_ordered(self):
+        for name in ("atomic_set", "atomic_read", "atomic_add",
+                     "clear_bit", "test_bit"):
+            assert not has_barrier_semantics(name), name
+
+    def test_unknown_function_has_no_semantics(self):
+        assert semantics_of("mystery") is None
+        assert not has_barrier_semantics("mystery")
+
+    def test_seqcount_helpers_have_barrier_semantics(self):
+        for name in ("read_seqcount_begin", "read_seqcount_retry",
+                     "write_seqcount_begin", "write_seqcount_end"):
+            assert has_barrier_semantics(name), name
+
+    def test_access_flags_consistent(self):
+        for spec in FUNCTION_SEMANTICS.values():
+            if spec.is_atomic or spec.is_bitop:
+                assert spec.reads or spec.writes, spec.name
+
+
+class TestWakeups:
+    def test_table_wakeups_included(self):
+        for name in ("wake_up_process", "wake_up", "complete",
+                     "smp_call_function_many"):
+            assert is_wakeup_call(name), name
+
+    def test_non_wakeups_excluded(self):
+        assert not is_wakeup_call("smp_wmb")
+        assert not is_wakeup_call("atomic_inc")
+
+    def test_all_semantics_wakeups_present(self):
+        for name, spec in FUNCTION_SEMANTICS.items():
+            if spec.is_wakeup:
+                assert name in WAKEUP_FUNCTIONS
+
+
+class TestConfig:
+    def test_default_config_disables_exotic(self):
+        config = default_config()
+        assert not config.is_enabled("CONFIG_EXOTIC_HW")
+        assert not config.is_enabled("CONFIG_ALPHA")
+        assert config.is_enabled("CONFIG_NET")
+
+    def test_allyes_enables_everything(self):
+        config = allyes_config()
+        assert all(
+            config.is_enabled(opt) for opt in SUBSYSTEM_OPTIONS.values()
+        )
+
+    def test_defines_only_enabled_options(self):
+        config = KernelConfig(options={"A": True, "B": False})
+        assert config.defines() == {"A": "1"}
+
+    def test_enable_disable(self):
+        config = KernelConfig()
+        config.enable("X")
+        assert config.is_enabled("X")
+        config.disable("X")
+        assert not config.is_enabled("X")
+
+    def test_unknown_option_is_disabled(self):
+        assert not KernelConfig().is_enabled("CONFIG_NOPE")
+
+    def test_enabled_options_sorted(self):
+        config = KernelConfig(options={"B": True, "A": True, "C": False})
+        assert config.enabled_options == ["A", "B"]

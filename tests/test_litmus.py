@@ -1,0 +1,168 @@
+"""Tests for the litmus executor (Figures 1-3 made executable)."""
+
+import pytest
+
+from repro.litmus.model import (
+    Fence,
+    FenceKind,
+    LitmusTest,
+    Read,
+    Thread,
+    Write,
+    enumerate_outcomes,
+    outcome_possible,
+)
+from repro.litmus import litmus_from_pairing, validate_pairing
+
+
+def message_passing(writer_fence=True, reader_fence=True):
+    """Figure 2: a=1; wmb; b=1  ||  r(b); rmb; r(a)."""
+    writer_events = [Write("a", 1)]
+    if writer_fence:
+        writer_events.append(Fence(FenceKind.WRITE))
+    writer_events.append(Write("b", 1))
+    reader_events = [Read("b")]
+    if reader_fence:
+        reader_events.append(Fence(FenceKind.READ))
+    reader_events.append(Read("a"))
+    return LitmusTest([Thread("w", writer_events),
+                       Thread("r", reader_events)])
+
+
+class TestFigure2:
+    def test_forbidden_outcome_excluded_with_both_fences(self):
+        test = message_passing(True, True)
+        assert not outcome_possible(test, **{"r(b)": 1, "r(a)": 0})
+
+    def test_all_other_outcomes_observable(self):
+        test = message_passing(True, True)
+        for expected in ({"r(b)": 0, "r(a)": 0}, {"r(b)": 0, "r(a)": 1},
+                         {"r(b)": 1, "r(a)": 1}):
+            assert outcome_possible(test, **expected)
+
+    def test_missing_writer_fence_admits_forbidden_outcome(self):
+        assert outcome_possible(
+            message_passing(False, True), **{"r(b)": 1, "r(a)": 0}
+        )
+
+    def test_missing_reader_fence_admits_forbidden_outcome(self):
+        assert outcome_possible(
+            message_passing(True, False), **{"r(b)": 1, "r(a)": 0}
+        )
+
+
+class TestFigure3:
+    def test_inconsistent_placement_gives_no_guarantee(self):
+        # Figure 3: a accessed before both fences, b after both: the
+        # fences order nothing between a and b.
+        writer = Thread("w", [Write("a", 1), Fence(FenceKind.WRITE),
+                              Write("b", 1)])
+        reader = Thread("r", [Read("a"), Fence(FenceKind.READ), Read("b")])
+        test = LitmusTest([writer, reader])
+        # All four combinations observable, including new-b-old-a AND
+        # new-a-old-b.
+        for rb, ra in ((0, 0), (0, 1), (1, 0), (1, 1)):
+            assert outcome_possible(test, **{"r(b)": rb, "r(a)": ra})
+
+
+class TestModelMechanics:
+    def test_single_thread_sees_program_order(self):
+        # Figure 1: a barrier orders a single thread's accesses; reads
+        # of own writes respect coherence.
+        thread = Thread("t", [Write("x", 1), Read("x")])
+        test = LitmusTest([thread])
+        outcomes = enumerate_outcomes(test)
+        assert outcomes == {next(iter(outcomes))}
+        assert next(iter(outcomes)).value("r(x)") == 1
+
+    def test_full_fence_orders_reads_and_writes(self):
+        thread = Thread("t", [Write("a", 1), Fence(FenceKind.FULL),
+                              Write("b", 1)])
+        orders = thread.legal_orders()
+        assert len(orders) == 1  # write fence fixes the order
+
+    def test_write_fence_does_not_order_reads(self):
+        thread = Thread("t", [Read("a"), Fence(FenceKind.WRITE), Read("b")])
+        assert len(thread.legal_orders()) == 2  # reads may cross a wmb
+
+    def test_read_fence_does_not_order_writes(self):
+        thread = Thread("t", [Write("a", 1), Fence(FenceKind.READ),
+                              Write("b", 1)])
+        assert len(thread.legal_orders()) == 2
+
+    def test_coherence_same_location(self):
+        thread = Thread("t", [Write("x", 1), Write("x", 2)])
+        assert len(thread.legal_orders()) == 1
+
+    def test_unordered_writes_may_reorder(self):
+        thread = Thread("t", [Write("a", 1), Write("b", 1)])
+        assert len(thread.legal_orders()) == 2
+
+    def test_initial_values(self):
+        test = LitmusTest(
+            [Thread("r", [Read("x")])], initial={"x": 7}
+        )
+        (outcome,) = enumerate_outcomes(test)
+        assert outcome.value("r(x)") == 7
+
+    def test_execution_budget_guard(self):
+        events = [Write(f"v{i}", 1) for i in range(6)]
+        test = LitmusTest([Thread("a", events), Thread("b", [
+            Read(f"v{i}") for i in range(6)
+        ])])
+        with pytest.raises(RuntimeError):
+            enumerate_outcomes(test, max_executions=10)
+
+
+BUGGY = """
+struct rqst { int len; int recd; int out; };
+void complete(struct rqst *req) {
+    req->len = 10;
+    smp_wmb();
+    req->recd = 1;
+}
+void decode(struct rqst *req) {
+    smp_rmb();
+    if (!req->recd)
+        return;
+    req->out = req->len;
+}
+"""
+FIXED = BUGGY.replace(
+    "smp_rmb();\n    if (!req->recd)\n        return;",
+    "if (!req->recd)\n        return;\n    smp_rmb();",
+)
+
+
+class TestPairingValidation:
+    def test_buggy_pairing_admits_inconsistent_outcome(self, analyze):
+        (pairing,) = analyze(BUGGY).pair().pairings
+        result = validate_pairing(pairing)
+        assert not result.is_consistent
+        (bad,) = result.inconsistent
+        values = dict(bad.values)
+        assert values["r(rqst.recd)"] == 1   # flag seen new
+        assert values["r(rqst.len)"] == 0    # payload stale
+
+    def test_fixed_pairing_is_consistent(self, analyze):
+        (pairing,) = analyze(FIXED).pair().pairings
+        result = validate_pairing(pairing)
+        assert result.is_consistent
+
+    def test_listing1_is_consistent(self, listing1, analyze):
+        (pairing,) = analyze(listing1).pair().pairings
+        assert validate_pairing(pairing).is_consistent
+
+    def test_extracted_test_structure(self, analyze):
+        (pairing,) = analyze(BUGGY).pair().pairings
+        test = litmus_from_pairing(pairing)
+        writer, reader = test.threads
+        assert any(isinstance(e, Fence) for e in writer.events)
+        assert any(isinstance(e, Fence) for e in reader.events)
+        assert {w.location for w in writer.writes()} == \
+            {"rqst.len", "rqst.recd"}
+
+    def test_describe_mentions_outcome_count(self, analyze):
+        (pairing,) = analyze(BUGGY).pair().pairings
+        text = validate_pairing(pairing).describe()
+        assert "outcomes" in text

@@ -1,0 +1,155 @@
+"""Tests for the §7 missing-barrier advisory analysis."""
+
+from repro.checkers.missing_barrier import (
+    MissingBarrierAdvisor,
+    advise_missing_barriers,
+)
+from repro.core.engine import KernelSource, OFenceEngine
+from repro.cparse.parser import parse_source
+
+
+PAIR = """
+struct box { int flag; int data0; int data1; };
+void publish(struct box *m)
+{
+\tm->data0 = 1;
+\tm->data1 = 2;
+\tsmp_wmb();
+\tm->flag = 1;
+}
+int consume_box(struct box *m)
+{
+\tif (!m->flag)
+\t\treturn 0;
+\tsmp_rmb();
+\tconsume(m->data0);
+\tconsume(m->data1);
+\treturn 1;
+}
+"""
+
+MISSING_WRITER = """
+void hot_update(struct box *m, int v)
+{
+\tm->data0 = v;
+\tm->data1 = v + 1;
+\tm->flag = 1;
+}
+"""
+
+MISSING_READER = """
+int peek_box(struct box *m)
+{
+\tif (!m->flag)
+\t\treturn 0;
+\treturn m->data0 + m->data1;
+}
+"""
+
+INIT_FN = """
+void init_box(struct box *m)
+{
+\tm->data0 = 0;
+\tm->data1 = 0;
+\tm->flag = 0;
+}
+"""
+
+STRUCT = "struct box { int flag; int data0; int data1; };\n"
+
+
+def advise(*extra_sources):
+    files = {"pair.c": PAIR}
+    for index, src in enumerate(extra_sources):
+        files[f"extra{index}.c"] = STRUCT + src
+    source = KernelSource(files=files)
+    result = OFenceEngine(source).analyze()
+    assert result.pairing.pairings, "base pairing must exist"
+    advisor = MissingBarrierAdvisor()
+    for path, text in files.items():
+        advisor.add_unit(parse_source(text, path), path)
+    return advisor.advise(result.pairing.pairings)
+
+
+class TestAdvisor:
+    def test_missing_barrier_writer_detected(self):
+        (candidate,) = advise(MISSING_WRITER)
+        assert candidate.function == "hot_update"
+        assert candidate.shape == "writer"
+        assert candidate.flag.field == "flag"
+
+    def test_missing_barrier_reader_detected(self):
+        (candidate,) = advise(MISSING_READER)
+        assert candidate.function == "peek_box"
+        assert candidate.shape == "reader"
+
+    def test_init_in_isolation_marked(self):
+        (candidate,) = advise(INIT_FN)
+        assert candidate.function == "init_box"
+        assert candidate.looks_like_initialization
+
+    def test_hot_writer_not_marked_as_init(self):
+        (candidate,) = advise(MISSING_WRITER)
+        assert not candidate.looks_like_initialization
+
+    def test_paired_functions_never_candidates(self):
+        candidates = advise()
+        assert candidates == []
+
+    def test_function_with_barrier_not_a_candidate(self):
+        with_barrier = MISSING_WRITER.replace(
+            "\tm->flag = 1;", "\tsmp_wmb();\n\tm->flag = 1;"
+        )
+        assert advise(with_barrier) == []
+
+    def test_function_with_ordered_atomic_not_a_candidate(self):
+        with_atomic = MISSING_WRITER.replace(
+            "\tm->flag = 1;",
+            "\tatomic_inc_return(&m->refs);\n\tm->flag = 1;",
+        )
+        assert advise(with_atomic) == []
+
+    def test_partial_object_access_not_a_candidate(self):
+        unrelated = """
+void touch_flag_only(struct box *m)
+{
+\tm->flag = 1;
+}
+"""
+        assert advise(unrelated) == []
+
+    def test_mixed_shape_not_a_candidate(self):
+        # Writes the flag but only *reads* the payload: neither a writer
+        # nor a reader protocol.
+        mixed = """
+void mixed(struct box *m)
+{
+\tconsume(m->data0);
+\tconsume(m->data1);
+\tm->flag = 1;
+}
+"""
+        assert advise(mixed) == []
+
+    def test_describe_mentions_caveat_for_init(self):
+        (candidate,) = advise(INIT_FN)
+        assert "initialization" in candidate.describe()
+
+
+class TestCorpusIntegration:
+    def test_corpus_advisory_finds_injected_material(self):
+        from repro.corpus import CorpusSpec, generate_corpus
+
+        corpus = generate_corpus(CorpusSpec.small(), seed=6)
+        result = OFenceEngine(corpus.source).analyze()
+        candidates = advise_missing_barriers(result, corpus.source)
+        found = {(c.filename, c.function) for c in candidates}
+        for real in corpus.truth.missing_barrier_real:
+            assert real in found
+        for fp in corpus.truth.missing_barrier_init_fps:
+            assert fp in found
+        # The init functions are flagged but carry the FP marker.
+        init_fns = set(corpus.truth.missing_barrier_init_fps)
+        for candidate in candidates:
+            if (candidate.filename, candidate.function) in init_fns:
+                assert candidate.looks_like_initialization

@@ -1,0 +1,172 @@
+"""Tests for the mutation-sensitivity harness."""
+
+import pytest
+
+import repro.api as ofence
+from repro.corpus.mutations import (
+    BASE_SCENARIO,
+    MUTATIONS,
+    Mutation,
+    Reaction,
+    classify_reaction,
+    run_mutation_harness,
+)
+
+
+class TestBaseScenario:
+    def test_base_is_clean(self):
+        analysis = ofence.analyze_source(BASE_SCENARIO, annotate=False)
+        assert analysis.is_clean
+        assert analysis.pairings
+
+    def test_base_forms_a_broadcast_pairing(self):
+        analysis = ofence.analyze_source(BASE_SCENARIO, annotate=False)
+        (pairing,) = analysis.pairings
+        assert pairing.is_multi
+        assert len(pairing.barriers) == 3
+
+
+class TestMutationOperators:
+    def test_all_mutations_change_the_source(self):
+        for mutation in MUTATIONS:
+            assert mutation.apply(BASE_SCENARIO) != BASE_SCENARIO, \
+                mutation.name
+
+    def test_mutated_sources_still_parse(self):
+        from repro.cparse.parser import parse_source
+
+        for mutation in MUTATIONS:
+            parse_source(mutation.apply(BASE_SCENARIO), "m.c")
+
+    def test_mutation_names_unique(self):
+        names = [m.name for m in MUTATIONS]
+        assert len(names) == len(set(names))
+
+    def test_missing_anchor_raises(self):
+        broken = Mutation(
+            name="x", description="x",
+            apply=lambda s: (_ for _ in ()).throw(AssertionError("gone")),
+            expected=Reaction.SILENT,
+        )
+        with pytest.raises(AssertionError):
+            broken.apply(BASE_SCENARIO)
+
+
+class TestHarness:
+    @pytest.fixture(scope="class")
+    def outcomes(self):
+        return run_mutation_harness()
+
+    def test_every_mutation_reacts_as_expected(self, outcomes):
+        unexpected = [
+            f"{o.mutation.name}: expected {o.mutation.expected.value}, "
+            f"got {o.reaction.value}"
+            for o in outcomes if not o.as_expected
+        ]
+        assert not unexpected, unexpected
+
+    def test_no_harmful_mutation_is_silent(self, outcomes):
+        for outcome in outcomes:
+            if outcome.mutation.expected is not Reaction.SILENT:
+                assert outcome.reaction is not Reaction.SILENT, \
+                    outcome.mutation.name
+
+    def test_controls_stay_silent(self, outcomes):
+        controls = [
+            o for o in outcomes
+            if o.mutation.expected is Reaction.SILENT
+        ]
+        assert controls
+        assert all(o.reaction is Reaction.SILENT for o in controls)
+
+    def test_detail_recorded_for_findings(self, outcomes):
+        for outcome in outcomes:
+            if outcome.reaction is Reaction.FINDING:
+                assert outcome.detail
+
+
+class TestClassifyReaction:
+    def test_pairing_lost_classification(self):
+        # In a non-redundant pair, renaming the reader's struct type
+        # dissolves the pairing with no finding and no advisory.
+        single = """
+struct sbox { int ready; int data; };
+void put(struct sbox *m) { m->data = 1; smp_wmb(); m->ready = 1; }
+int get(struct sbox *m) {
+\tif (!m->ready)
+\t\treturn 0;
+\tsmp_rmb();
+\tconsume(m->data);
+\treturn 1;
+}
+"""
+        mutated = single.replace("int get(struct sbox *m)",
+                                 "int get(struct obox *m)")
+        reaction, detail = classify_reaction(mutated, baseline_pairings=1)
+        assert reaction is Reaction.PAIRING_LOST
+        assert "->" in detail
+
+    def test_writers_still_pair_with_each_other(self):
+        # In the redundant base scenario, renaming the reader's struct
+        # leaves the two writers pairing with each other — they do run
+        # concurrently, so this is correct, not a lost pairing.
+        mutated = BASE_SCENARIO.replace(
+            "int drain_mbox(struct mbox *m)",
+            "int drain_mbox(struct other_box *m)",
+        )
+        analysis = ofence.analyze_source(mutated, annotate=False)
+        assert len(analysis.pairings) == 1
+        functions = {fn for _, fn in analysis.pairings[0].functions}
+        assert functions == {"fill_mbox", "refill_mbox"}
+
+
+class TestBroadcastDecomposition:
+    """The runner slices broadcast multi pairings for the checkers."""
+
+    def test_buggy_reader_in_broadcast_detected(self):
+        mutated = BASE_SCENARIO.replace(
+            "\tif (!m->ready)\n\t\treturn 0;\n\tsmp_rmb();",
+            "\tsmp_rmb();\n\tif (!m->ready)\n\t\treturn 0;",
+        )
+        analysis = ofence.analyze_source(mutated, annotate=False)
+        (finding,) = analysis.findings
+        assert finding.kind.value == "misplaced-memory-access"
+        assert finding.pairing.parent is not None
+
+    def test_duplicate_findings_deduped(self):
+        # Two writers x one buggy reader: the same misplaced read is
+        # reachable through both slices but reported once.
+        mutated = BASE_SCENARIO.replace(
+            "\tif (!m->ready)\n\t\treturn 0;\n\tsmp_rmb();",
+            "\tsmp_rmb();\n\tif (!m->ready)\n\t\treturn 0;",
+        )
+        analysis = ofence.analyze_source(mutated, annotate=False)
+        assert len(analysis.findings) == 1
+
+    def test_seqcount_pairings_not_decomposed(self, analyze):
+        src = """
+        struct cnt { unsigned seq; long bcnt; long pcnt; };
+        void wr(struct cnt *s) {
+            s->seq++;
+            smp_wmb();
+            s->bcnt += 1;
+            s->pcnt += 1;
+            smp_wmb();
+            s->seq++;
+        }
+        long rd(struct cnt *s) {
+            unsigned v;
+            long b;
+            long p;
+            do {
+                v = s->seq;
+                smp_rmb();
+                b = s->bcnt;
+                p = s->pcnt;
+                smp_rmb();
+            } while (v != s->seq);
+            return b + p;
+        }
+        """
+        report = analyze(src).check()
+        assert report.ordering_findings == []

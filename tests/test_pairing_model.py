@@ -1,0 +1,134 @@
+"""Unit tests for pairing data model edge cases and engine options."""
+
+from repro.analysis.barrier_scan import BarrierScanner
+from repro.cparse.parser import parse_source
+from repro.pairing.algorithm import PairingEngine
+from repro.pairing.model import PairingResult
+
+
+def sites_of(src, filename="t.c"):
+    unit = parse_source(src, filename)
+    return BarrierScanner(unit, filename=filename).scan()
+
+
+class TestEmptyInputs:
+    def test_no_sites(self):
+        result = PairingEngine([]).pair()
+        assert result.pairings == []
+        assert result.unpaired == []
+        assert result.implicit_ipc == []
+
+    def test_single_site(self):
+        sites = sites_of(
+            "struct s { int a; int b; };\n"
+            "void f(struct s *p) { p->a = 1; smp_wmb(); p->b = 1; }"
+        )
+        result = PairingEngine(sites).pair()
+        assert result.pairings == []
+        assert len(result.unpaired) == 1
+
+    def test_read_barriers_never_initiate(self):
+        # Two read barriers sharing ordered objects: no write barrier,
+        # no pairing (Algorithm 1 starts from write barriers).
+        src = """
+        struct s { int a; int b; };
+        void r1(struct s *p) { g(p->a); smp_rmb(); g(p->b); }
+        void r2(struct s *p) { g(p->a); smp_rmb(); g(p->b); }
+        """
+        result = PairingEngine(sites_of(src)).pair()
+        assert result.pairings == []
+
+
+class TestUnresolvedInclusion:
+    SRC = """
+    void w(void *p) { p->data = 1; smp_wmb(); p->flag = 1; }
+    void r(void *p) { g(p->flag); smp_rmb(); g(p->data); }
+    """
+
+    def test_default_excludes_unresolved(self):
+        result = PairingEngine(sites_of(self.SRC)).pair()
+        assert result.pairings == []
+
+    def test_opt_in_includes_unresolved(self):
+        result = PairingEngine(
+            sites_of(self.SRC), include_unresolved=True
+        ).pair()
+        assert len(result.pairings) == 1
+
+
+class TestSameFunctionOption:
+    SRC = """
+    struct s { int a; int b; };
+    void f(struct s *p) {
+        p->a = 1;
+        smp_wmb();
+        p->b = 1;
+        g(p->a);
+        smp_rmb();
+        g(p->b);
+    }
+    """
+
+    def test_same_function_pairing_opt_in(self):
+        default = PairingEngine(sites_of(self.SRC)).pair()
+        assert default.pairings == []
+        allowed = PairingEngine(
+            sites_of(self.SRC), allow_same_function=True
+        ).pair()
+        assert len(allowed.pairings) == 1
+
+
+class TestPairingProperties:
+    SRC = """
+    struct s { int flag; int data; };
+    void w(struct s *p) { p->data = 1; smp_wmb(); p->flag = 1; }
+    void r(struct s *p) {
+        if (!p->flag) return;
+        smp_rmb();
+        g(p->data);
+    }
+    """
+
+    def test_functions_deduplicated(self):
+        result = PairingEngine(sites_of(self.SRC)).pair()
+        (pairing,) = result.pairings
+        assert len(pairing.functions) == len(set(pairing.functions))
+
+    def test_writer_is_first_barrier(self):
+        result = PairingEngine(sites_of(self.SRC)).pair()
+        (pairing,) = result.pairings
+        assert pairing.writer.is_write_barrier
+        assert pairing.primary_match.is_read_barrier
+
+    def test_paired_barrier_ids(self):
+        result = PairingEngine(sites_of(self.SRC)).pair()
+        assert len(result.paired_barriers) == 2
+
+    def test_parent_unset_on_top_level_pairings(self):
+        result = PairingEngine(sites_of(self.SRC)).pair()
+        assert all(p.parent is None for p in result.pairings)
+
+
+class TestCrossFileIdentity:
+    def test_same_function_names_in_different_files_pair(self):
+        # Static functions reuse names across files; barrier ids must
+        # stay distinct.
+        src = """
+        struct s { int flag; int data; };
+        static void helper(struct s *p) {
+            p->data = 1; smp_wmb(); p->flag = 1;
+        }
+        """
+        reader = """
+        struct s { int flag; int data; };
+        static void helper(struct s *p) {
+            if (!p->flag) return;
+            smp_rmb();
+            g(p->data);
+        }
+        """
+        sites = sites_of(src, "a.c") + sites_of(reader, "b.c")
+        result = PairingEngine(sites).pair()
+        assert len(result.pairings) == 1
+        ids = {b.barrier_id for b in result.pairings[0].barriers}
+        assert len(ids) == 2

@@ -1,0 +1,65 @@
+"""Tests for the multiprocessing scan path."""
+
+import pytest
+
+from repro.core.engine import AnalysisOptions, KernelSource, OFenceEngine
+from repro.corpus import CorpusSpec, generate_corpus
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_corpus(CorpusSpec.small(), seed=31)
+
+
+class TestParallelScan:
+    def test_results_identical_to_serial(self, corpus):
+        serial = OFenceEngine(corpus.source).analyze()
+        parallel = OFenceEngine(
+            corpus.source, AnalysisOptions(workers=2)
+        ).analyze()
+        assert len(parallel.pairing.pairings) == \
+            len(serial.pairing.pairings)
+        assert parallel.report.table3_breakdown() == \
+            serial.report.table3_breakdown()
+        assert len(parallel.report.unneeded_findings) == \
+            len(serial.report.unneeded_findings)
+        assert parallel.files_failed == serial.files_failed
+        assert parallel.total_barriers == serial.total_barriers
+
+    def test_parse_errors_surface_from_workers(self):
+        source = KernelSource(files={
+            "ok.c": "struct s { int a; int b; };\n"
+                    "void f(struct s *p) { p->a = 1; smp_wmb(); "
+                    "p->b = 1; }\n",
+            "bad.c": "void broken( { smp_wmb();",
+        })
+        result = OFenceEngine(
+            source, AnalysisOptions(workers=2)
+        ).analyze()
+        assert result.files_failed == ["bad.c"]
+        assert result.total_barriers == 1
+
+    def test_incremental_after_parallel_run(self, corpus):
+        engine = OFenceEngine(
+            corpus.source, AnalysisOptions(workers=2)
+        )
+        first = engine.analyze()
+        path = corpus.source.files_with_barriers()[0]
+        second = engine.reanalyze_file(path)
+        assert len(second.pairing.pairings) == \
+            len(first.pairing.pairings)
+
+    def test_cfg_lookup_works_with_worker_artifacts(self, corpus):
+        # Patches need CFGs from the pickled scanners: every ordering
+        # finding must still be patchable.
+        result = OFenceEngine(
+            corpus.source, AnalysisOptions(workers=2)
+        ).analyze()
+        ordering_patches = [
+            p for p in result.patches
+            if p.finding.kind.value in (
+                "misplaced-memory-access", "repeated-read"
+            )
+        ]
+        assert ordering_patches
+        assert all(p.applied for p in ordering_patches)

@@ -1,0 +1,236 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.accesses import ObjectKey
+from repro.analysis.barrier_scan import BarrierScanner, ScanLimits
+from repro.corpus import CorpusSpec, generate_corpus, score_run
+from repro.core.engine import OFenceEngine
+from repro.cparse.lexer import TokenKind, tokenize
+from repro.cparse.parser import parse_source
+from repro.cparse.preprocessor import Preprocessor
+from repro.pairing.algorithm import PairingEngine
+from repro.patching.diff import SourceEditor
+from repro.patching.render import render_expr
+
+identifiers = st.from_regex(r"[a-z_][a-z0-9_]{0,10}", fullmatch=True)
+
+
+class TestLexerProperties:
+    @given(st.lists(
+        st.one_of(
+            identifiers,
+            st.integers(min_value=0, max_value=10**9).map(str),
+            st.sampled_from(["+", "-", "*", "/", "->", "==", ";", "(", ")"]),
+        ),
+        max_size=30,
+    ))
+    def test_space_separated_tokens_roundtrip(self, tokens):
+        text = " ".join(tokens)
+        lexed = [t.value for t in tokenize(text)[:-1]]
+        assert lexed == [t for t in tokens if t]
+
+    @given(st.text(
+        alphabet=st.characters(
+            whitelist_categories=("Lu", "Ll", "Nd"),
+            whitelist_characters=" \t\n_;(){}*&!-><=+,./",
+        ),
+        max_size=200,
+    ))
+    def test_lexer_terminates_on_arbitrary_input(self, text):
+        try:
+            tokens = tokenize(text)
+        except Exception:
+            return  # LexError is fine; hangs are not
+        assert tokens[-1].kind is TokenKind.EOF
+
+    @given(st.integers(min_value=0, max_value=2**63),
+           st.sampled_from(["", "u", "U", "l", "ul", "ULL"]))
+    def test_integer_literals_lex_as_single_token(self, value, suffix):
+        toks = tokenize(f"{value}{suffix}")[:-1]
+        assert len(toks) == 1
+        assert toks[0].kind is TokenKind.NUMBER
+
+
+class TestPreprocessorProperties:
+    @given(st.integers(-100, 100), st.integers(-100, 100),
+           st.sampled_from(["+", "-", "*", "==", "!=", "<", ">", "&&", "||"]))
+    def test_condition_evaluator_matches_python(self, a, b, op):
+        expr = f"({a}) {op} ({b})"
+        pp = Preprocessor()
+        expected = eval(
+            expr.replace("&&", " and ").replace("||", " or ")
+        )
+        out = pp.preprocess(f"#if {expr}\nint yes;\n#endif")
+        taken = any(t.value == "yes" for t in out)
+        assert taken == bool(expected)
+
+    @given(identifiers, st.integers(0, 999))
+    def test_object_macro_substitution(self, name, value):
+        pp = Preprocessor({name: str(value)})
+        out = [t.value for t in pp.preprocess(f"int x = {name};")]
+        assert str(value) in out
+
+
+class TestRenderParseProperties:
+    exprs = st.recursive(
+        st.one_of(
+            identifiers.map(lambda n: n),
+            st.integers(0, 999).map(str),
+        ),
+        lambda children: st.one_of(
+            st.tuples(children, st.sampled_from(["+", "-", "*"]), children)
+            .map(lambda t: f"({t[0]} {t[1]} {t[2]})"),
+            st.tuples(identifiers, children)
+            .map(lambda t: f"{t[0]}->{t[1]}" if t[1].isidentifier()
+                 else f"{t[0]}({t[1]})"),
+        ),
+        max_leaves=8,
+    )
+
+    @given(exprs)
+    @settings(max_examples=60)
+    def test_render_is_stable_under_reparse(self, expr_text):
+        src = f"void f(void) {{ x = {expr_text}; }}"
+        try:
+            unit = parse_source(src, "p.c")
+        except Exception:
+            return
+        expr = unit.functions[0].body.stmts[0].expr.value
+        rendered = render_expr(expr)
+        unit2 = parse_source(f"void f(void) {{ x = {rendered}; }}", "p2.c")
+        rerendered = render_expr(unit2.functions[0].body.stmts[0].expr.value)
+        assert rendered == rerendered
+
+
+class TestEditorProperties:
+    @given(
+        st.lists(st.from_regex(r"[a-z ]{0,20}", fullmatch=True),
+                 min_size=1, max_size=20),
+        st.data(),
+    )
+    def test_deletions_shrink_by_exactly_k_lines(self, lines, data):
+        source = "\n".join(lines) + "\n"
+        editor = SourceEditor(source)
+        count = data.draw(
+            st.integers(min_value=0, max_value=len(lines))
+        )
+        chosen = data.draw(
+            st.lists(
+                st.integers(1, len(lines)),
+                min_size=count, max_size=count, unique=True,
+            )
+        )
+        for number in chosen:
+            editor.delete_line(number)
+        result_lines = editor.result().splitlines()
+        assert len(result_lines) == len(lines) - len(chosen)
+
+    @given(st.lists(st.from_regex(r"[a-z]{1,10}", fullmatch=True),
+                    min_size=1, max_size=10))
+    def test_replace_then_result_contains_replacement(self, lines):
+        source = "\n".join(lines) + "\n"
+        editor = SourceEditor(source)
+        editor.replace_line(1, "REPLACED")
+        assert editor.result().splitlines()[0] == "REPLACED"
+
+
+def _window_source(rng):
+    """Random writer/reader pair with randomized padding distances."""
+    wpad = "\n".join("\tcpu_relax();" for _ in range(rng.randint(0, 4)))
+    rpad = "\n".join("\tcpu_relax();" for _ in range(rng.randint(0, 8)))
+    return f"""
+struct s {{ int flag; int data; }};
+void w(struct s *p) {{
+\tp->data = 1;
+{wpad}
+\tsmp_wmb();
+\tp->flag = 1;
+}}
+void r(struct s *p) {{
+\tif (!p->flag)
+\t\treturn;
+\tsmp_rmb();
+{rpad}
+\tg(p->data);
+}}
+"""
+
+
+class TestPairingInvariants:
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=30, suppress_health_check=[HealthCheck.too_slow])
+    def test_pairings_always_share_two_ordered_objects(self, seed):
+        rng = random.Random(seed)
+        src = _window_source(rng)
+        unit = parse_source(src, "t.c")
+        sites = BarrierScanner(unit, filename="t.c").scan()
+        result = PairingEngine(sites).pair()
+        for pairing in result.pairings:
+            assert len(pairing.common_objects) >= 2
+            o1, o2 = pairing.common_objects[:2]
+            assert any(b.orders(o1, o2) for b in pairing.barriers)
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_every_barrier_in_exactly_one_bucket(self, seed):
+        corpus = generate_corpus(
+            CorpusSpec(
+                correct_pairs=3, far_writer_pairs=0, misplaced_bugs=1,
+                reread_cross_bugs=0, reread_guard_bugs=0, seqcount_bugs=0,
+                wrong_type_bugs=0, seqcount_correct=1, bnx2x_fps=0,
+                generic_pairs=1, unneeded_wakeup=1, unneeded_double=0,
+                unneeded_atomic=0, ipc_patterns=1, solitary=3,
+                sweep_noise_families=0, sweep_noise_per_family=0,
+                analyzed_files=8, gated_files=1, noise_files=1,
+            ),
+            seed=seed,
+        )
+        result = OFenceEngine(corpus.source).analyze()
+        paired = result.pairing.paired_barriers
+        unpaired = {s.barrier_id for s in result.pairing.unpaired}
+        ipc = {s.barrier_id for s in result.pairing.implicit_ipc}
+        all_ids = {s.barrier_id for s in result.sites}
+        assert paired | unpaired | ipc == all_ids
+        assert not (paired & unpaired)
+        assert not (paired & ipc)
+        assert not (unpaired & ipc)
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=5, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_detection_is_seed_independent(self, seed):
+        spec = CorpusSpec(
+            correct_pairs=4, far_writer_pairs=0, misplaced_bugs=2,
+            reread_cross_bugs=1, reread_guard_bugs=1, seqcount_bugs=1,
+            wrong_type_bugs=1, seqcount_correct=1, bnx2x_fps=1,
+            generic_pairs=1, unneeded_wakeup=2, unneeded_double=1,
+            unneeded_atomic=1, ipc_patterns=2, solitary=4,
+            sweep_noise_families=0, sweep_noise_per_family=0,
+            analyzed_files=12, gated_files=1, noise_files=1,
+        )
+        corpus = generate_corpus(spec, seed=seed)
+        result = OFenceEngine(corpus.source).analyze()
+        score = score_run(result, corpus.truth)
+        assert score.missed_bugs == []
+        assert score.unexpected_findings == []
+
+
+class TestObjectKeyProperties:
+    @given(identifiers, identifiers)
+    def test_key_equality_and_hash(self, struct, field_name):
+        a = ObjectKey(struct, field_name)
+        b = ObjectKey(struct, field_name)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert str(a) == f"(struct {struct}, {field_name})"
+
+    @given(identifiers, identifiers, identifiers)
+    def test_distinct_structs_distinct_keys(self, s1, s2, field_name):
+        if s1 == s2:
+            return
+        assert ObjectKey(s1, field_name) != ObjectKey(s2, field_name)

@@ -1,0 +1,140 @@
+"""Tests for RCU primitive support."""
+
+from repro.analysis.accesses import ObjectKey
+from repro.checkers.model import DeviationKind
+from repro.kernel.barriers import BarrierKind
+from repro.kernel.semantics import has_barrier_semantics
+
+
+RCU_PAIR = """
+struct item { int val; int tag; };
+struct table { struct item *head; int gen; };
+void publish(struct table *t, struct item *it)
+{
+\tit->val = 9;
+\tit->tag = 1;
+\trcu_assign_pointer(t->head, it);
+}
+int lookup(struct table *t)
+{
+\tstruct item *it;
+\tint v = 0;
+\trcu_read_lock();
+\tit = rcu_dereference(t->head);
+\tif (it)
+\t\tv = it->val + it->tag;
+\trcu_read_unlock();
+\treturn v;
+}
+"""
+
+
+class TestRcuSites:
+    def test_assign_pointer_is_a_write_barrier_site(self, analyze):
+        site = analyze(RCU_PAIR).site("publish", "rcu_assign_pointer")
+        assert site.kind is BarrierKind.WRITE
+
+    def test_dereference_is_a_read_barrier_site(self, analyze):
+        site = analyze(RCU_PAIR).site("lookup", "rcu_dereference")
+        assert site.kind is BarrierKind.READ
+
+    def test_pointer_write_lands_after_the_embedded_barrier(self, analyze):
+        site = analyze(RCU_PAIR).site("publish")
+        (head_use,) = [
+            u for u in site.uses if u.key == ObjectKey("table", "head")
+        ]
+        assert head_use.side == "after"
+        assert head_use.kind.writes
+
+    def test_pointer_read_lands_before_the_embedded_barrier(self, analyze):
+        site = analyze(RCU_PAIR).site("lookup")
+        (head_use,) = [
+            u for u in site.uses if u.key == ObjectKey("table", "head")
+        ]
+        assert head_use.side == "before"
+        assert head_use.kind.reads
+
+    def test_item_initialization_before_publication(self, analyze):
+        site = analyze(RCU_PAIR).site("publish")
+        val_use = site.best_use(ObjectKey("item", "val"))
+        assert val_use.side == "before"
+
+    def test_rcu_read_lock_is_not_a_barrier(self, analyze):
+        assert not has_barrier_semantics("rcu_read_lock")
+        assert not has_barrier_semantics("call_rcu")
+        assert has_barrier_semantics("synchronize_rcu")
+
+
+class TestRcuPairing:
+    def test_publish_lookup_pair(self, analyze):
+        result = analyze(RCU_PAIR).pair()
+        (pairing,) = result.pairings
+        functions = {fn for _, fn in pairing.functions}
+        assert functions == {"publish", "lookup"}
+        assert ObjectKey("table", "head") in set(pairing.common_objects)
+
+    def test_correct_rcu_code_has_no_findings(self, analyze):
+        report = analyze(RCU_PAIR).check()
+        assert report.ordering_findings == []
+        assert report.unneeded_findings == []
+
+    def test_redundant_wmb_before_assign_pointer(self, analyze):
+        src = RCU_PAIR.replace(
+            "\trcu_assign_pointer(t->head, it);",
+            "\tsmp_wmb();\n\trcu_assign_pointer(t->head, it);",
+        )
+        report = analyze(src).check()
+        unneeded = [
+            f for f in report.unneeded_findings
+            if f.kind is DeviationKind.UNNEEDED_BARRIER
+        ]
+        assert len(unneeded) == 1
+        assert unneeded[0].details["subsumed_by"] == "rcu_assign_pointer"
+
+    def test_misplaced_init_after_publication_detected(self, analyze):
+        # Initializing a field *after* publishing the pointer: readers
+        # may observe the item with a stale tag.
+        src = RCU_PAIR.replace(
+            "\tit->tag = 1;\n\trcu_assign_pointer(t->head, it);",
+            "\trcu_assign_pointer(t->head, it);\n\tit->tag = 1;",
+        )
+        report = analyze(src).check()
+        # The reader reads 'tag' after its barrier while the writer now
+        # writes it after its own: same-side conflict on 'tag'... the
+        # fix bias moves the *read*, which reviewers would reject, but
+        # the inconsistency is surfaced either way.
+        findings = [
+            f for f in report.ordering_findings
+            if f.object_key is not None and f.object_key.field == "tag"
+        ]
+        assert findings
+
+    def test_rcu_sites_bound_other_windows(self, analyze):
+        src = """
+        struct s { int a; int b; };
+        void f(struct s *p, struct q *t) {
+            smp_wmb();
+            rcu_assign_pointer(t->ptr, p);
+            p->a = 1;
+        }
+        """
+        site = analyze(src).site("f", "smp_wmb")
+        assert not [u for u in site.uses if u.key == ObjectKey("s", "a")]
+
+
+class TestRcuCorpus:
+    def test_corpus_rcu_pairs_pair_cleanly(self):
+        from repro.core.engine import OFenceEngine
+        from repro.corpus import CorpusSpec, generate_corpus, score_run
+
+        corpus = generate_corpus(CorpusSpec.small(), seed=17)
+        result = OFenceEngine(corpus.source).analyze()
+        rcu_sites = [
+            s for s in result.sites if s.primitive.startswith("rcu_")
+        ]
+        assert len(rcu_sites) == 2 * corpus.spec.rcu_pairs
+        paired = result.pairing.paired_barriers
+        assert all(s.barrier_id in paired for s in rcu_sites)
+        score = score_run(result, corpus.truth)
+        assert score.missed_bugs == []
+        assert score.unexpected_findings == []

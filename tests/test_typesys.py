@@ -1,0 +1,255 @@
+"""Unit tests for the type system and expression type inference."""
+
+from repro.cparse import astnodes as ast
+from repro.cparse.parser import parse_source
+from repro.cparse.typesys import (
+    UNKNOWN_STRUCT,
+    CType,
+    Scope,
+    TypeInferencer,
+    TypeRegistry,
+)
+
+
+def setup_fn(src, fn_name=None):
+    """Parse ``src``; return (registry, scope-with-params, inferencer, fn)."""
+    unit = parse_source(src, "test.c")
+    registry = TypeRegistry()
+    registry.add_unit(unit)
+    fn = unit.functions[0] if fn_name is None else unit.function(fn_name)
+    scope = Scope(registry)
+    for param in fn.params:
+        scope.declare_param(param)
+    return registry, scope, TypeInferencer(registry, scope), fn
+
+
+def expr_of(fn, index=0):
+    stmt = fn.body.stmts[index]
+    return stmt.expr
+
+
+class TestCType:
+    def test_struct_detection(self):
+        assert CType("struct foo").is_struct
+        assert not CType("int").is_struct
+
+    def test_struct_tag(self):
+        assert CType("struct foo").struct_tag == "foo"
+        assert CType("int").struct_tag == UNKNOWN_STRUCT
+
+    def test_deref_pointer(self):
+        assert CType("struct foo", pointers=2).deref().pointers == 1
+
+    def test_deref_array_before_pointer(self):
+        t = CType("int", pointers=1, array_dims=1).deref()
+        assert t.array_dims == 0 and t.pointers == 1
+
+    def test_deref_scalar_is_identity(self):
+        t = CType("int")
+        assert t.deref() == t
+
+    def test_addr(self):
+        assert CType("int").addr().pointers == 1
+
+
+class TestTypeRegistry:
+    def test_struct_fields_registered(self):
+        registry, *_ = setup_fn(
+            "struct s { int a; struct s *next; };\nvoid f(void) {}"
+        )
+        assert registry.field_type("s", "a") == CType("int")
+        assert registry.field_type("struct s", "next").pointers == 1
+
+    def test_unknown_struct_field(self):
+        registry = TypeRegistry()
+        assert registry.field_type("nope", "x") == CType()
+
+    def test_typedef_resolution(self):
+        registry, *_ = setup_fn(
+            "typedef struct real real_t;\nvoid f(void) {}"
+        )
+        resolved = registry.resolve("real_t", 1)
+        assert resolved.name == "struct real"
+        assert resolved.pointers == 1
+
+    def test_typedef_chain(self):
+        unit = parse_source(
+            "typedef struct real base_t;\ntypedef base_t alias_t;\n"
+            "void f(void) {}", "t.c",
+        )
+        registry = TypeRegistry()
+        registry.add_unit(unit)
+        assert registry.resolve("alias_t").name == "struct real"
+
+    def test_typedef_cycle_terminates(self):
+        registry = TypeRegistry()
+        registry._typedefs["a"] = CType("b")
+        registry._typedefs["b"] = CType("a")
+        assert registry.resolve("a").name in ("a", "b")
+
+    def test_function_return_types(self):
+        registry, *_ = setup_fn(
+            "struct page *alloc_page(void) { return 0; }"
+        )
+        ret = registry.function_return("alloc_page")
+        assert ret.name == "struct page" and ret.pointers == 1
+
+    def test_global_types(self):
+        registry, *_ = setup_fn(
+            "struct dev *the_dev;\nvoid f(void) {}"
+        )
+        assert registry.global_type("the_dev").name == "struct dev"
+
+    def test_first_struct_definition_wins(self):
+        registry, *_ = setup_fn(
+            "struct s { int a; };\nvoid f(void) {}"
+        )
+        registry.add_struct(ast.StructDef(name="s", fields=[]))
+        assert registry.field_type("s", "a") == CType("int")
+
+    def test_known_structs_listing(self):
+        registry, *_ = setup_fn(
+            "struct b { int x; };\nstruct a { int y; };\nvoid f(void) {}"
+        )
+        assert registry.known_structs() == ["a", "b"]
+
+
+class TestScope:
+    def test_param_declaration(self):
+        _, scope, *_ = setup_fn(
+            "struct s { int a; };\nvoid f(struct s *p) {}"
+        )
+        assert scope.lookup("p").name == "struct s"
+        assert scope.lookup("p").pointers == 1
+
+    def test_nested_frames_shadowing(self):
+        registry = TypeRegistry()
+        scope = Scope(registry)
+        scope.declare("x", CType("int"))
+        scope.push()
+        scope.declare("x", CType("long"))
+        assert scope.lookup("x").name == "long"
+        scope.pop()
+        assert scope.lookup("x").name == "int"
+
+    def test_pop_never_removes_root_frame(self):
+        scope = Scope(TypeRegistry())
+        scope.pop()
+        scope.declare("x", CType("int"))
+        assert scope.lookup("x").name == "int"
+
+    def test_unknown_name_falls_back_to_globals(self):
+        registry, scope, *_ = setup_fn("int g_count;\nvoid f(void) {}")
+        assert scope.lookup("g_count").name == "int"
+        assert scope.lookup("missing").name == UNKNOWN_STRUCT
+
+
+class TestInference:
+    SRC = """
+    struct inner { int leaf; };
+    struct outer { struct inner *in; struct inner direct; int n; };
+    void f(struct outer *o, struct outer v) {
+        o->in->leaf;
+        v.direct.leaf;
+        o->n;
+        (*o).n;
+    }
+    """
+
+    def test_arrow_chain(self):
+        _, _, infer, fn = setup_fn(self.SRC)
+        member = expr_of(fn, 0)
+        assert infer.struct_of_member(member) == "inner"
+
+    def test_dot_chain(self):
+        _, _, infer, fn = setup_fn(self.SRC)
+        member = expr_of(fn, 1)
+        assert infer.struct_of_member(member) == "inner"
+
+    def test_simple_arrow(self):
+        _, _, infer, fn = setup_fn(self.SRC)
+        member = expr_of(fn, 2)
+        assert infer.struct_of_member(member) == "outer"
+
+    def test_deref_then_dot(self):
+        _, _, infer, fn = setup_fn(self.SRC)
+        member = expr_of(fn, 3)
+        assert infer.struct_of_member(member) == "outer"
+
+    def test_unknown_variable_gives_unknown_struct(self):
+        _, _, infer, fn = setup_fn(
+            "void f(void) { mystery->field; }"
+        )
+        member = expr_of(fn, 0)
+        assert infer.struct_of_member(member) == UNKNOWN_STRUCT
+
+    def test_array_element_type(self):
+        src = """
+        struct item { int v; };
+        struct box { struct item items[8]; };
+        void f(struct box *b) { b->items[2].v; }
+        """
+        _, _, infer, fn = setup_fn(src)
+        member = expr_of(fn, 0)
+        assert infer.struct_of_member(member) == "item"
+
+    def test_cast_resolves_type(self):
+        src = """
+        struct page { int flags; };
+        void f(void *p) { ((struct page *)p)->flags; }
+        """
+        _, _, infer, fn = setup_fn(src)
+        member = expr_of(fn, 0)
+        assert infer.struct_of_member(member) == "page"
+
+    def test_function_return_used_for_member(self):
+        src = """
+        struct task { int pid; };
+        struct task *current_task(void) { return 0; }
+        void f(void) { current_task()->pid; }
+        """
+        _, _, infer, fn = setup_fn(src, "f")
+        member = expr_of(fn, 0)
+        assert infer.struct_of_member(member) == "task"
+
+    def test_local_declaration_refines_type(self):
+        src = """
+        struct s { int a; };
+        void f(void) { struct s *local; local->a; }
+        """
+        unit = parse_source(src, "t.c")
+        registry = TypeRegistry()
+        registry.add_unit(unit)
+        fn = unit.function("f")
+        scope = Scope(registry)
+        scope.declare_decl(fn.body.stmts[0])
+        infer = TypeInferencer(registry, scope)
+        member = fn.body.stmts[1].expr
+        assert infer.struct_of_member(member) == "s"
+
+    def test_ternary_prefers_resolved_branch(self):
+        registry = TypeRegistry()
+        scope = Scope(registry)
+        scope.declare("a", CType("struct s", pointers=1))
+        infer = TypeInferencer(registry, scope)
+        expr = ast.Ternary(
+            cond=ast.Ident(name="c"),
+            then=ast.Ident(name="unknown_var"),
+            other=ast.Ident(name="a"),
+        )
+        assert infer.infer(expr).name == "struct s"
+
+    def test_literal_types(self):
+        infer = TypeInferencer(TypeRegistry(), Scope(TypeRegistry()))
+        assert infer.infer(ast.Number(text="1")).name == "int"
+        assert infer.infer(ast.String(text='"s"')).pointers == 1
+        assert infer.infer(None).name == UNKNOWN_STRUCT
+
+    def test_pointer_arithmetic_keeps_pointer(self):
+        registry = TypeRegistry()
+        scope = Scope(registry)
+        scope.declare("p", CType("struct s", pointers=1))
+        infer = TypeInferencer(registry, scope)
+        expr = ast.Binary(op="+", lhs=ast.Ident(name="p"),
+                          rhs=ast.Number(text="1"))
+        assert infer.infer(expr).pointers == 1
