@@ -27,6 +27,20 @@ from repro.core.report import (
 from repro.corpus import CorpusSpec, generate_corpus, score_run
 
 
+def _add_perf_args(parser: argparse.ArgumentParser) -> None:
+    """Performance pipeline flags shared by analyze/corpus/report."""
+    parser.add_argument("--workers", type=int, default=None, metavar="N",
+                        help="worker processes for the scan stage "
+                             "(default: serial)")
+    parser.add_argument("--cache-dir", type=Path, default=None,
+                        metavar="DIR",
+                        help="content-addressed on-disk scan cache "
+                             "(repeated runs skip unchanged files)")
+    parser.add_argument("--profile", action="store_true",
+                        help="print the per-stage timing/counter "
+                             "breakdown")
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="ofence",
@@ -41,6 +55,7 @@ def _build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--read-window", type=int, default=50)
     analyze.add_argument("--patches", action="store_true",
                          help="print generated patches")
+    _add_perf_args(analyze)
 
     corpus = sub.add_parser("corpus", help="generate + analyze the "
                                            "synthetic kernel corpus")
@@ -48,6 +63,7 @@ def _build_parser() -> argparse.ArgumentParser:
     corpus.add_argument("--small", action="store_true")
     corpus.add_argument("--write", type=Path, default=None, metavar="DIR",
                         help="materialize the corpus tree under DIR")
+    _add_perf_args(corpus)
 
     sweep = sub.add_parser("sweep", help="Figure 6 write-window sweep")
     sweep.add_argument("--seed", type=int, default=2023)
@@ -56,6 +72,7 @@ def _build_parser() -> argparse.ArgumentParser:
     report = sub.add_parser("report", help="full evaluation report (§6)")
     report.add_argument("--seed", type=int, default=2023)
     report.add_argument("--small", action="store_true")
+    _add_perf_args(report)
 
     json_cmd = sub.add_parser(
         "json", help="analyze C files and emit a JSON report (for CI)"
@@ -77,17 +94,36 @@ def _spec(args) -> CorpusSpec:
     return CorpusSpec.small() if args.small else CorpusSpec.paper()
 
 
+def _perf_options(args, limits: ScanLimits | None = None) -> AnalysisOptions:
+    if args.cache_dir is not None:
+        cache_dir = Path(args.cache_dir)
+        if cache_dir.exists() and not cache_dir.is_dir():
+            raise SystemExit(
+                f"error: --cache-dir {cache_dir} exists and is not a directory"
+            )
+    options = AnalysisOptions(
+        workers=args.workers, cache_dir=args.cache_dir
+    )
+    if limits is not None:
+        options.limits = limits
+    return options
+
+
+def _maybe_profile(args, result) -> None:
+    if args.profile:
+        print()
+        print(result.profile.render())
+
+
 def cmd_analyze(args) -> int:
     if len(args.files) == 1 and args.files[0].is_dir():
         source = KernelSource.from_directory(args.files[0])
     else:
         files = {str(path): path.read_text() for path in args.files}
         source = KernelSource(files=files)
-    options = AnalysisOptions(
-        limits=ScanLimits(
-            write_window=args.write_window, read_window=args.read_window
-        )
-    )
+    options = _perf_options(args, ScanLimits(
+        write_window=args.write_window, read_window=args.read_window
+    ))
     result = OFenceEngine(source, options).analyze()
     print(f"{result.total_barriers} barriers, "
           f"{len(result.pairing.pairings)} pairings\n")
@@ -99,6 +135,7 @@ def cmd_analyze(args) -> int:
         for patch in result.patches:
             print()
             print(patch.render())
+    _maybe_profile(args, result)
     return 0
 
 
@@ -107,9 +144,10 @@ def cmd_corpus(args) -> int:
     if args.write is not None:
         count = corpus.source.write_to(args.write)
         print(f"wrote {count} files under {args.write}")
-    result = OFenceEngine(corpus.source).analyze()
+    result = OFenceEngine(corpus.source, _perf_options(args)).analyze()
     score = score_run(result, corpus.truth)
     print(EvaluationReport(result, score).render())
+    _maybe_profile(args, result)
     return 0
 
 
@@ -128,11 +166,12 @@ def cmd_sweep(args) -> int:
 
 def cmd_report(args) -> int:
     corpus = generate_corpus(_spec(args), seed=args.seed)
-    result = OFenceEngine(corpus.source).analyze()
+    result = OFenceEngine(corpus.source, _perf_options(args)).analyze()
     score = score_run(result, corpus.truth)
     print(EvaluationReport(result, score).render())
     print()
     print(read_distance_histogram(result).render())
+    _maybe_profile(args, result)
     return 0
 
 

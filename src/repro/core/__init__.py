@@ -1,5 +1,6 @@
 """The OFence engine: end-to-end pipeline and evaluation reporting."""
 
+from repro.core.cache import CachedScan, ScanCache, scan_key
 from repro.core.engine import (
     AnalysisOptions,
     AnalysisResult,
@@ -7,6 +8,7 @@ from repro.core.engine import (
     KernelSource,
     OFenceEngine,
 )
+from repro.core.profile import StageProfile
 from repro.core.report import EvaluationReport, render_table
 
 __all__ = [
@@ -17,4 +19,8 @@ __all__ = [
     "OFenceEngine",
     "EvaluationReport",
     "render_table",
+    "CachedScan",
+    "ScanCache",
+    "scan_key",
+    "StageProfile",
 ]

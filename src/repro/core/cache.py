@@ -1,0 +1,168 @@
+"""Content-addressed scan cache.
+
+Per-file scan results are keyed by a hash of everything that can change
+them: the file text, the preprocessor defines (the kernel config), the
+text of every header the file transitively resolves, and the exploration
+windows.  Two layers use the key:
+
+* the engine's in-memory ``FileAnalysis`` cache — ``analyze()`` only
+  re-scans files whose key changed since the last run;
+* an optional on-disk store (``--cache-dir``) holding the slim scan
+  payload (barrier sites + parse error, no scanner/AST/CFG), so repeated
+  CLI runs and benchmark iterations skip parsing entirely.
+
+Disk entries self-describe with a format version and echo their key; a
+corrupted, truncated, or stale entry fails validation and loads as a
+miss, so the engine silently re-scans.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+from repro.analysis.barrier_scan import BarrierSite, ScanLimits
+
+#: Bump when the pickled payload layout or scan semantics change.
+CACHE_FORMAT = 2
+
+_INCLUDE_RE = re.compile(r'^\s*#\s*include\s*[<"]([^">]+)[">]', re.MULTILINE)
+
+
+def header_closure(
+    text: str, resolve: Callable[[str, bool], str | None]
+) -> list[tuple[str, str]]:
+    """Transitively resolved headers of ``text``: sorted (name, text).
+
+    ``resolve`` mirrors ``KernelSource.resolve_include``; unresolvable
+    includes are skipped — they cannot affect the scan either.
+    """
+    seen: dict[str, str] = {}
+    queue = _INCLUDE_RE.findall(text)
+    while queue:
+        name = queue.pop()
+        if name in seen:
+            continue
+        resolved = resolve(name, False)
+        if resolved is None:
+            continue
+        seen[name] = resolved
+        queue.extend(_INCLUDE_RE.findall(resolved))
+    return sorted(seen.items())
+
+
+def scan_key(
+    text: str,
+    defines: dict[str, str],
+    headers: list[tuple[str, str]],
+    limits: ScanLimits,
+) -> str:
+    """Content hash of one file's scan inputs."""
+    digest = hashlib.sha256()
+    digest.update(f"format={CACHE_FORMAT}\x00".encode())
+    digest.update(f"windows={limits.write_window},{limits.read_window}\x00".encode())
+    for name, value in sorted(defines.items()):
+        digest.update(f"define={name}={value}\x00".encode())
+    for name, header_text in headers:
+        digest.update(f"header={name}\x00".encode())
+        digest.update(header_text.encode())
+        digest.update(b"\x00")
+    digest.update(text.encode())
+    return digest.hexdigest()
+
+
+@dataclass
+class CachedScan:
+    """The slim, serialisable result of scanning one file."""
+
+    filename: str
+    sites: list[BarrierSite]
+    parse_error: str | None = None
+
+
+@dataclass
+class CacheStats:
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    rejected: int = 0  # corrupted / stale / version-mismatched entries
+    stores: int = 0
+
+
+@dataclass
+class ScanCache:
+    """On-disk content-addressed store of :class:`CachedScan` payloads.
+
+    ``directory=None`` disables persistence; ``load`` always misses and
+    ``store`` is a no-op, so the engine can use one code path.
+    """
+
+    directory: Path | None = None
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        if self.directory is not None:
+            self.directory = Path(self.directory)
+            try:
+                self.directory.mkdir(parents=True, exist_ok=True)
+            except OSError as exc:
+                # e.g. the path exists but is a file, or isn't writable.
+                raise ValueError(
+                    f"unusable scan cache directory {self.directory}: {exc}"
+                ) from exc
+
+    @property
+    def enabled(self) -> bool:
+        return self.directory is not None
+
+    def _path(self, key: str) -> Path:
+        assert self.directory is not None
+        return self.directory / key[:2] / f"{key}.pkl"
+
+    def load(self, key: str) -> CachedScan | None:
+        if self.directory is None:
+            return None
+        try:
+            with open(self._path(key), "rb") as handle:
+                entry = pickle.load(handle)
+            if (
+                entry.get("format") != CACHE_FORMAT
+                or entry.get("key") != key
+            ):
+                self.stats.rejected += 1
+                return None
+            payload = entry["payload"]
+            if not isinstance(payload, CachedScan):
+                self.stats.rejected += 1
+                return None
+        except FileNotFoundError:
+            return None
+        except Exception:
+            # Truncated pickle, unreadable file, stale class layout, ...:
+            # treat as a miss and let the engine re-scan.
+            self.stats.rejected += 1
+            return None
+        self.stats.disk_hits += 1
+        return payload
+
+    def store(self, key: str, payload: CachedScan) -> None:
+        if self.directory is None:
+            return
+        target = self._path(key)
+        try:
+            target.parent.mkdir(parents=True, exist_ok=True)
+            tmp = target.with_suffix(".tmp")
+            with open(tmp, "wb") as handle:
+                pickle.dump(
+                    {"format": CACHE_FORMAT, "key": key, "payload": payload},
+                    handle,
+                    protocol=pickle.HIGHEST_PROTOCOL,
+                )
+            tmp.replace(target)
+            self.stats.stores += 1
+        except OSError:
+            pass  # full/read-only disk never fails the analysis

@@ -9,10 +9,20 @@
 3. pair barriers globally (Algorithm 1);
 4. run the §5 checkers and generate patches.
 
-``reanalyze_file`` implements the incremental mode: one file is
-re-scanned and the (cheap) global pairing + checking stages re-run,
-matching the paper's "updating the analysis after modifying a single
-file takes less than 30 seconds".
+The pipeline is incremental end to end:
+
+* every per-file scan result is keyed by a content hash of its inputs
+  (text, defines, transitively resolved headers, windows); ``analyze()``
+  re-scans only files whose key changed, and an optional on-disk cache
+  (``AnalysisOptions.cache_dir``) survives across processes;
+* worker processes return slim :class:`repro.core.cache.CachedScan`
+  payloads (sites only — no scanner/AST/CFG), and the parent lazily
+  re-materializes a file's CFGs only when a checker or patcher asks for
+  them via ``_cfg_lookup``;
+* the global pairing stage keeps one :class:`PairingIndex` alive across
+  runs and feeds it file-level deltas, so ``reanalyze_file`` — the
+  paper's "updating the analysis after modifying a single file takes
+  less than 30 seconds" mode — pays O(changed sites), not O(all sites).
 """
 
 from __future__ import annotations
@@ -21,9 +31,12 @@ import multiprocessing
 import re
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.analysis.barrier_scan import BarrierScanner, BarrierSite, ScanLimits
 from repro.checkers.runner import CheckerSuite, CheckReport
+from repro.core.cache import CachedScan, ScanCache, header_closure, scan_key
+from repro.core.profile import StageProfile
 from repro.cparse.parser import ParseError, parse_source
 from repro.cparse.typesys import TypeRegistry
 from repro.kernel.barriers import BARRIER_PRIMITIVES
@@ -51,15 +64,26 @@ class KernelSource:
     headers: dict[str, str] = field(default_factory=dict)
     #: path -> CONFIG_* option guarding compilation of that file.
     file_options: dict[str, str] = field(default_factory=dict)
+    #: path -> (text hash, has-barriers) memo for the regex pre-filter,
+    #: which both ``analyze`` and every ``reanalyze_file`` consult.
+    _barrier_memo: dict[str, tuple[int, bool]] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
 
     def resolve_include(self, name: str, is_system: bool) -> str | None:
         return self.headers.get(name)
 
     def files_with_barriers(self) -> list[str]:
-        return [
-            path for path, text in sorted(self.files.items())
-            if _BARRIER_RE.search(text)
-        ]
+        out: list[str] = []
+        for path, text in sorted(self.files.items()):
+            token = hash(text)
+            memo = self._barrier_memo.get(path)
+            if memo is None or memo[0] != token:
+                memo = (token, _BARRIER_RE.search(text) is not None)
+                self._barrier_memo[path] = memo
+            if memo[1]:
+                out.append(path)
+        return out
 
     @classmethod
     def from_directory(cls, root) -> "KernelSource":
@@ -70,8 +94,6 @@ class KernelSource:
         root-relative path, so ``#include "sub/dir.h"`` and
         ``#include "dir.h"`` both resolve.
         """
-        from pathlib import Path
-
         root = Path(root)
         files: dict[str, str] = {}
         headers: dict[str, str] = {}
@@ -85,8 +107,6 @@ class KernelSource:
 
     def write_to(self, root) -> int:
         """Materialize the tree under ``root``; returns files written."""
-        from pathlib import Path
-
         root = Path(root)
         count = 0
         for rel, text in self.files.items():
@@ -116,16 +136,25 @@ class AnalysisOptions:
     #: Checker selection (names from repro.checkers.runner.ALL_CHECKS);
     #: None = all (minus "annotate" when ``annotate`` is False).
     checks: frozenset[str] | None = None
+    #: Directory for the on-disk scan cache (None = in-memory only).
+    cache_dir: str | Path | None = None
 
 
 @dataclass
 class FileAnalysis:
-    """Per-file artifacts cached for incremental re-analysis."""
+    """Per-file artifacts cached for incremental re-analysis.
+
+    ``scanner`` is ``None`` for results that came back from a worker
+    process or the on-disk cache; the engine re-materializes it lazily
+    the first time a checker or patcher needs this file's CFGs.
+    """
 
     filename: str
     scanner: BarrierScanner | None
     sites: list[BarrierSite]
     parse_error: str | None = None
+    #: Content hash of the scan inputs (see ``repro.core.cache``).
+    key: str | None = None
 
 
 @dataclass
@@ -142,6 +171,8 @@ class AnalysisResult:
     patches: list[Patch]
     elapsed_seconds: float
     stage_seconds: dict[str, float]
+    #: Fine-grained timing/counter breakdown (CLI ``--profile``).
+    profile: StageProfile = field(default_factory=StageProfile)
 
     @property
     def total_barriers(self) -> int:
@@ -152,44 +183,61 @@ class AnalysisResult:
         return self.pairing.coverage(self.total_barriers)
 
 
-def _scan_one(
-    args: tuple[str, str, dict[str, str], dict[str, str],
-                tuple[int, int]]
-) -> "FileAnalysis":
-    """Worker: parse + scan one file, returning the full FileAnalysis.
+#: Per-worker context installed by the pool initializer: the defines,
+#: header table, and scan limits shared by every job, shipped once per
+#: worker instead of once per file.
+_WORKER_CTX: tuple[dict[str, str], dict[str, str], ScanLimits] | None = None
 
-    Scanners, CFGs and AST nodes are plain dataclasses, so the whole
-    per-file artifact pickles back to the parent, which only runs the
-    (cheap) global pairing/checking stages afterwards.
+
+def _init_scan_worker(
+    defines: dict[str, str], headers: dict[str, str],
+    limits: tuple[int, int],
+) -> None:
+    global _WORKER_CTX
+    _WORKER_CTX = (
+        defines, headers,
+        ScanLimits(write_window=limits[0], read_window=limits[1]),
+    )
+
+
+def _scan_one(job: tuple[str, str]) -> CachedScan:
+    """Worker: parse + scan one file, returning the slim payload.
+
+    Only the barrier sites (with their access records) travel back to
+    the parent — never the scanner, AST, or CFGs — so the pickle cost
+    per file is proportional to its barriers, not its size.
     """
-    path, text, defines, headers, limits = args
+    path, text = job
+    defines, headers, limits = _WORKER_CTX
     try:
         unit = parse_source(
             text, path, defines=defines,
             include_resolver=lambda name, sys_inc: headers.get(name),
         )
     except ParseError as exc:
-        return FileAnalysis(
-            filename=path, scanner=None, sites=[], parse_error=str(exc)
-        )
+        return CachedScan(filename=path, sites=[], parse_error=str(exc))
     registry = TypeRegistry()
     registry.add_unit(unit)
     scanner = BarrierScanner(
-        unit, registry=registry,
-        limits=ScanLimits(write_window=limits[0], read_window=limits[1]),
-        filename=path,
+        unit, registry=registry, limits=limits, filename=path
     )
-    sites = scanner.scan()
-    return FileAnalysis(filename=path, scanner=scanner, sites=sites)
+    return CachedScan(filename=path, sites=scanner.scan())
 
 
 class OFenceEngine:
     """Drives the OFence pipeline over a :class:`KernelSource`."""
 
     def __init__(self, source: KernelSource, options: AnalysisOptions | None = None):
+        from repro.pairing.algorithm import PairingIndex
+
         self.source = source
         self.options = options if options is not None else AnalysisOptions()
         self._file_cache: dict[str, FileAnalysis] = {}
+        self._disk_cache = ScanCache(self.options.cache_dir)
+        self._pairing_index = PairingIndex()
+        #: path -> (text hash, header closure) memo for key computation.
+        self._closure_memo: dict[str, tuple[int, list[tuple[str, str]]]] = {}
+        self._profile: StageProfile | None = None
 
     # -- selection --------------------------------------------------------------
 
@@ -209,42 +257,54 @@ class OFenceEngine:
 
     def analyze(self) -> AnalysisResult:
         start = time.perf_counter()
-        stages: dict[str, float] = {}
+        profile = StageProfile()
+        self._profile = profile
 
         selected, skipped = self.selected_files()
         total_with_barriers = len(selected) + len(skipped)
 
-        t0 = time.perf_counter()
-        failed = self._scan_files(selected)
-        stages["scan"] = time.perf_counter() - t0
+        with profile.stage("scan"):
+            pending = self._refresh_cache(selected, profile)
+            if pending:
+                workers = self.options.workers
+                if workers is not None and workers > 1 and len(pending) > 1:
+                    self._parallel_scan(pending, workers)
+                else:
+                    for path, key in pending:
+                        self._scan_single(path, key)
+            profile.count("scan.scanned", len(pending))
+        failed = self._failed_files(selected)
 
         return self._finish(
-            total_with_barriers, selected, skipped, failed, start, stages
+            total_with_barriers, selected, skipped, failed, start, profile
         )
 
     def reanalyze_file(self, path: str, new_text: str | None = None) -> AnalysisResult:
         """Incremental mode: re-scan one file, re-run pairing + checks."""
         start = time.perf_counter()
-        stages: dict[str, float] = {}
+        profile = StageProfile()
+        self._profile = profile
         if new_text is not None:
             self.source.files[path] = new_text
         selected, skipped = self.selected_files()
         total_with_barriers = len(selected) + len(skipped)
 
-        t0 = time.perf_counter()
-        failed = [
-            f.filename for f in self._file_cache.values()
-            if f.parse_error is not None
-        ]
-        if path in selected:
-            error = self._scan_single(path)
-            if error is not None and path not in failed:
-                failed.append(path)
-        else:
-            self._file_cache.pop(path, None)
-        stages["scan"] = time.perf_counter() - t0
+        with profile.stage("scan"):
+            if path in selected:
+                key = self._scan_key(path)
+                cached = self._file_cache.get(path)
+                if cached is not None and cached.key == key:
+                    profile.count("scan.memory_hits")
+                elif not self._load_from_disk(path, key, profile):
+                    self._scan_single(path, key)
+                    profile.count("scan.scanned")
+            else:
+                self._file_cache.pop(path, None)
+        # The failure list is computed *after* the re-scan, so a file
+        # whose parse error was just fixed drops out of ``files_failed``.
+        failed = self._failed_files(selected)
         return self._finish(
-            total_with_barriers, selected, skipped, failed, start, stages
+            total_with_barriers, selected, skipped, failed, start, profile
         )
 
     # -- shared pipeline tail ------------------------------------------------------------
@@ -256,7 +316,7 @@ class OFenceEngine:
         skipped: list[str],
         failed: list[str],
         start: float,
-        stages: dict[str, float],
+        profile: StageProfile,
     ) -> AnalysisResult:
         from repro.pairing.algorithm import PairingEngine
 
@@ -266,24 +326,28 @@ class OFenceEngine:
             if cached is not None:
                 sites.extend(cached.sites)
 
-        t0 = time.perf_counter()
-        pairing = PairingEngine(sites).pair()
-        stages["pair"] = time.perf_counter() - t0
+        with profile.stage("pair"):
+            with profile.stage("pair.sync"):
+                updated = self._sync_pairing_index(selected)
+            profile.count("pair.files_updated", updated)
+            pairer = PairingEngine(index=self._pairing_index)
+            pairing = pairer.pair()
+            for name, value in pairer.stats.items():
+                profile.count(f"pair.{name}", value)
 
-        t0 = time.perf_counter()
-        suite = CheckerSuite(
-            self._cfg_lookup,
-            annotate=self.options.annotate,
-            checks=self.options.checks,
-        )
-        report = suite.run(pairing)
-        stages["check"] = time.perf_counter() - t0
+        with profile.stage("check"):
+            suite = CheckerSuite(
+                self._cfg_lookup,
+                annotate=self.options.annotate,
+                checks=self.options.checks,
+            )
+            report = suite.run(pairing)
 
-        t0 = time.perf_counter()
-        generator = PatchGenerator(self.source.files, self._cfg_lookup)
-        patches = generator.generate_all(report.all_findings)
-        stages["patch"] = time.perf_counter() - t0
+        with profile.stage("patch"):
+            generator = PatchGenerator(self.source.files, self._cfg_lookup)
+            patches = generator.generate_all(report.all_findings)
 
+        self._profile = None
         return AnalysisResult(
             files_with_barriers=total_with_barriers,
             files_analyzed=len(selected),
@@ -294,49 +358,119 @@ class OFenceEngine:
             report=report,
             patches=patches,
             elapsed_seconds=time.perf_counter() - start,
-            stage_seconds=stages,
+            stage_seconds=profile.coarse(),
+            profile=profile,
         )
+
+    def _sync_pairing_index(self, selected: list[str]) -> int:
+        """Feed file-level deltas to the persistent pairing index.
+
+        Unchanged files are identity no-ops, so the cost of this sync is
+        O(changed sites), not O(all sites).
+        """
+        selected_set = set(selected)
+        for path in self._pairing_index.files():
+            if path not in selected_set:
+                self._pairing_index.remove_file(path)
+        updated = 0
+        for path in selected:
+            cached = self._file_cache.get(path)
+            file_sites = cached.sites if cached is not None else []
+            if not file_sites:
+                self._pairing_index.remove_file(path)
+            elif self._pairing_index.update_file(path, file_sites):
+                updated += 1
+        return updated
 
     # -- scanning -----------------------------------------------------------------------
 
-    def _scan_files(self, selected: list[str]) -> list[str]:
-        workers = self.options.workers
-        if workers is not None and workers > 1:
-            return self._parallel_scan(selected, workers)
-        failed: list[str] = []
-        for path in selected:
-            error = self._scan_single(path)
-            if error is not None:
-                failed.append(path)
-        return failed
+    def _scan_key(self, path: str) -> str:
+        text = self.source.files[path]
+        token = hash(text)
+        memo = self._closure_memo.get(path)
+        if memo is None or memo[0] != token:
+            memo = (token, header_closure(text, self.source.resolve_include))
+            self._closure_memo[path] = memo
+        return scan_key(
+            text, self.options.config.defines(), memo[1], self.options.limits
+        )
 
-    def _parallel_scan(self, selected: list[str], workers: int) -> list[str]:
+    def _refresh_cache(
+        self, selected: list[str], profile: StageProfile
+    ) -> list[tuple[str, str]]:
+        """Reconcile the in-memory cache; returns (path, key) to scan."""
+        pending: list[tuple[str, str]] = []
+        with profile.stage("scan.keys"):
+            keys = {path: self._scan_key(path) for path in selected}
+        for path in selected:
+            key = keys[path]
+            cached = self._file_cache.get(path)
+            if cached is not None and cached.key == key:
+                profile.count("scan.memory_hits")
+                continue
+            if self._load_from_disk(path, key, profile):
+                continue
+            pending.append((path, key))
+        return pending
+
+    def _load_from_disk(
+        self, path: str, key: str, profile: StageProfile
+    ) -> bool:
+        payload = self._disk_cache.load(key)
+        if payload is None:
+            return False
+        self._file_cache[path] = FileAnalysis(
+            filename=path, scanner=None, sites=payload.sites,
+            parse_error=payload.parse_error, key=key,
+        )
+        profile.count("scan.disk_hits")
+        return True
+
+    def _failed_files(self, selected: list[str]) -> list[str]:
+        return [
+            path for path in selected
+            if (cached := self._file_cache.get(path)) is not None
+            and cached.parse_error is not None
+        ]
+
+    def _parallel_scan(
+        self, pending: list[tuple[str, str]], workers: int
+    ) -> None:
         """Fan the per-file parse+scan across worker processes.
 
-        Each worker returns a complete :class:`FileAnalysis` (everything
-        involved is plain dataclasses, so it pickles); the parent keeps
-        only the global stages.  Worth it for trees of large files; on
-        the synthetic corpus (many tiny files) pickling can outweigh the
-        parse win, which is why serial remains the default.
+        Workers return slim :class:`CachedScan` payloads; the shared
+        context (defines, headers, limits) ships once per worker via the
+        pool initializer.  Jobs are ordered largest-file-first and
+        chunked several chunks per worker, so stragglers balance out.
         """
-        defines = self.options.config.defines()
-        jobs = [
-            (
-                path, self.source.files[path], defines, self.source.headers,
-                (self.options.limits.write_window,
-                 self.options.limits.read_window),
-            )
-            for path in selected
-        ]
-        failed: list[str] = []
-        with multiprocessing.Pool(workers) as pool:
-            for analysis in pool.map(_scan_one, jobs, chunksize=8):
-                self._file_cache[analysis.filename] = analysis
-                if analysis.parse_error is not None:
-                    failed.append(analysis.filename)
-        return failed
+        jobs = sorted(
+            ((path, self.source.files[path]) for path, _ in pending),
+            key=lambda job: len(job[1]), reverse=True,
+        )
+        keys = dict(pending)
+        limits = (
+            self.options.limits.write_window, self.options.limits.read_window
+        )
+        chunksize = max(1, len(jobs) // (workers * 4))
+        with multiprocessing.Pool(
+            workers, initializer=_init_scan_worker,
+            initargs=(self.options.config.defines(), self.source.headers,
+                      limits),
+        ) as pool:
+            for payload in pool.imap_unordered(
+                _scan_one, jobs, chunksize=chunksize
+            ):
+                key = keys[payload.filename]
+                self._file_cache[payload.filename] = FileAnalysis(
+                    filename=payload.filename, scanner=None,
+                    sites=payload.sites, parse_error=payload.parse_error,
+                    key=key,
+                )
+                self._disk_cache.store(key, payload)
 
-    def _scan_single(self, path: str) -> str | None:
+    def _scan_single(self, path: str, key: str | None = None) -> str | None:
+        if key is None:
+            key = self._scan_key(path)
         text = self.source.files[path]
         try:
             unit = parse_source(
@@ -347,7 +481,11 @@ class OFenceEngine:
             )
         except ParseError as exc:
             self._file_cache[path] = FileAnalysis(
-                filename=path, scanner=None, sites=[], parse_error=str(exc)
+                filename=path, scanner=None, sites=[],
+                parse_error=str(exc), key=key,
+            )
+            self._disk_cache.store(
+                key, CachedScan(filename=path, sites=[], parse_error=str(exc))
             )
             return str(exc)
         registry = TypeRegistry()
@@ -357,7 +495,10 @@ class OFenceEngine:
         )
         sites = scanner.scan()
         self._file_cache[path] = FileAnalysis(
-            filename=path, scanner=scanner, sites=sites
+            filename=path, scanner=scanner, sites=sites, key=key
+        )
+        self._disk_cache.store(
+            key, CachedScan(filename=path, sites=sites)
         )
         return None
 
@@ -365,10 +506,51 @@ class OFenceEngine:
 
     def _cfg_lookup(self, filename: str, function: str):
         cached = self._file_cache.get(filename)
-        if cached is None or cached.scanner is None:
+        if cached is None or cached.parse_error is not None:
+            return None
+        if cached.scanner is None:
+            self._rehydrate(cached)
+        if cached.scanner is None:
             return None
         scan = cached.scanner.function_scan(function)
         return scan.cfg if scan is not None else None
+
+    def _rehydrate(self, cached: FileAnalysis) -> None:
+        """Re-materialize a file's scanner (AST + CFGs) in the parent.
+
+        Worker/disk-cache results carry sites only.  Scanning is fully
+        deterministic, so the fresh scan mirrors the cached sites
+        one-to-one; the cached sites' access records are re-bound to the
+        fresh AST so identity-based lookups (``captured_variable``) keep
+        working against the re-built CFGs.
+        """
+        text = self.source.files.get(cached.filename)
+        if text is None:
+            return
+        try:
+            unit = parse_source(
+                text,
+                cached.filename,
+                defines=self.options.config.defines(),
+                include_resolver=self.source.resolve_include,
+            )
+        except ParseError:
+            return
+        registry = TypeRegistry()
+        registry.add_unit(unit)
+        scanner = BarrierScanner(
+            unit, registry=registry, limits=self.options.limits,
+            filename=cached.filename,
+        )
+        fresh = scanner.scan()
+        if len(fresh) == len(cached.sites):
+            for old_site, new_site in zip(cached.sites, fresh):
+                if len(old_site.uses) == len(new_site.uses):
+                    for old_use, new_use in zip(old_site.uses, new_site.uses):
+                        old_use.access = new_use.access
+        cached.scanner = scanner
+        if self._profile is not None:
+            self._profile.count("check.rehydrated_files")
 
     def file_analysis(self, path: str) -> FileAnalysis | None:
         return self._file_cache.get(path)

@@ -7,7 +7,7 @@ pairing; unpaired barriers whose windows contain all common objects of an
 existing pairing join it (multi-barrier pairings, §5.3).
 """
 
-from repro.pairing.algorithm import PairingEngine
+from repro.pairing.algorithm import PairingEngine, PairingIndex
 from repro.pairing.model import Pairing, PairingResult
 
-__all__ = ["PairingEngine", "Pairing", "PairingResult"]
+__all__ = ["PairingEngine", "PairingIndex", "Pairing", "PairingResult"]

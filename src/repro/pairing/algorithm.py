@@ -17,13 +17,20 @@ The implementation follows the paper's pseudocode:
 The IPC special case (§4.2) is applied before pairing: a write barrier
 whose nearest wake-up call is closer than its matched shared objects is
 left unpaired — the IPC acts as the implicit read barrier.
+
+The hashmap of step 1 lives in a :class:`PairingIndex` that supports
+file-level deltas (``remove_file`` / ``add_sites``): the engine keeps one
+index alive across runs and only touches the entries of files whose scan
+results changed, so an incremental re-analysis pays O(changed sites)
+instead of O(all sites) to prepare pairing.  The index also memoizes the
+best candidate per write barrier, invalidated by shared-object key when a
+delta touches any object in that barrier's window.
 """
 
 from __future__ import annotations
 
 import math
-from collections import defaultdict
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.analysis.accesses import ObjectKey
 from repro.analysis.barrier_scan import BarrierSite
@@ -39,21 +46,133 @@ class _Candidate:
     weight: float
 
 
+@dataclass
+class PairingIndex:
+    """Incrementally maintained ``shared object -> barriers`` map.
+
+    Sites are registered per file; ``add_sites``/``remove_file`` update
+    the object map and the per-writer candidate cache by delta.  All
+    orderings derived from the index are canonical (files in sorted
+    order, sites in scan order within a file), so a sequence of deltas
+    and a from-scratch build produce identical pairing results.
+    """
+
+    include_unresolved: bool = False
+    #: path -> that file's sites, in scan order (the list object is the
+    #: change token: ``update_file`` is a no-op for the same list).
+    _file_sites: dict[str, list[BarrierSite]] = field(default_factory=dict, repr=False)
+    _obj_map: dict[ObjectKey, list[BarrierSite]] = field(default_factory=dict, repr=False)
+    #: id(site) -> (path, position-in-file); the canonical sort key.
+    _order: dict[int, tuple[str, int]] = field(default_factory=dict, repr=False)
+    #: barrier_id -> memoized best candidate (None = "no match").
+    _candidates: dict[str, _Candidate | None] = field(default_factory=dict, repr=False)
+    _candidate_token: tuple | None = None
+    #: Count of delta operations applied (observability/tests).
+    updates: int = 0
+
+    # -- queries -----------------------------------------------------------
+
+    def files(self) -> list[str]:
+        return list(self._file_sites)
+
+    def file_sites(self, path: str) -> list[BarrierSite]:
+        return self._file_sites.get(path, [])
+
+    def site_count(self) -> int:
+        return sum(len(sites) for sites in self._file_sites.values())
+
+    def sites(self):
+        """All sites in canonical order (sorted paths, scan order)."""
+        for path in sorted(self._file_sites):
+            yield from self._file_sites[path]
+
+    def barriers_for(self, key: ObjectKey) -> list[BarrierSite]:
+        return self._obj_map.get(key, [])
+
+    def order_key(self, site: BarrierSite) -> tuple[str, int]:
+        return self._order.get(id(site), (site.filename, 1 << 30))
+
+    # -- deltas ------------------------------------------------------------
+
+    def _tracks(self, key: ObjectKey) -> bool:
+        return self.include_unresolved or key.is_resolved
+
+    def add_sites(self, path: str, sites: list[BarrierSite]) -> None:
+        if path in self._file_sites:
+            self.remove_file(path)
+        self._file_sites[path] = sites
+        changed: set[ObjectKey] = set()
+        for position, site in enumerate(sites):
+            self._order[id(site)] = (path, position)
+            for key in site.keys():
+                if self._tracks(key):
+                    self._obj_map.setdefault(key, []).append(site)
+                    changed.add(key)
+        self._invalidate(changed)
+        self.updates += 1
+
+    def remove_file(self, path: str) -> None:
+        sites = self._file_sites.pop(path, None)
+        if not sites:
+            return
+        removed = {id(site) for site in sites}
+        changed: set[ObjectKey] = set()
+        for site in sites:
+            self._order.pop(id(site), None)
+            self._candidates.pop(site.barrier_id, None)
+            for key in site.keys():
+                if self._tracks(key):
+                    changed.add(key)
+        for key in changed:
+            remaining = [
+                site for site in self._obj_map.get(key, ())
+                if id(site) not in removed
+            ]
+            if remaining:
+                self._obj_map[key] = remaining
+            else:
+                self._obj_map.pop(key, None)
+        self._invalidate(changed)
+        self.updates += 1
+
+    def update_file(self, path: str, sites: list[BarrierSite]) -> bool:
+        """Replace ``path``'s sites; no-op (False) for the same list."""
+        if self._file_sites.get(path) is sites:
+            return False
+        self.add_sites(path, sites)
+        return True
+
+    def _invalidate(self, keys: set[ObjectKey]) -> None:
+        """Drop memoized candidates of barriers whose windows contain a
+        changed object key — exactly the set whose best match can move."""
+        for key in keys:
+            for site in self._obj_map.get(key, ()):
+                self._candidates.pop(site.barrier_id, None)
+
+    def candidate_cache(self, token: tuple) -> dict[str, _Candidate | None]:
+        """The memo dict, valid for one pairing configuration only."""
+        if token != self._candidate_token:
+            self._candidates = {}
+            self._candidate_token = token
+        return self._candidates
+
+
 class PairingEngine:
     """Pairs barrier sites collected across all analyzed files."""
 
     def __init__(
         self,
-        sites: list[BarrierSite],
+        sites: list[BarrierSite] | None = None,
         min_common_objects: int = 2,
         allow_same_function: bool = False,
         include_unresolved: bool = False,
         use_distance_weight: bool = True,
         require_ordering: bool = True,
+        index: PairingIndex | None = None,
     ):
-        """Create a pairing engine over ``sites``.
+        """Create a pairing engine over ``sites`` or a shared ``index``.
 
-        The last three parameters exist for ablation studies:
+        The middle parameters exist for ablation studies:
 
         * ``min_common_objects=1`` pairs barriers sharing a *single*
           object (the paper requires two);
@@ -61,18 +180,42 @@ class PairingEngine:
           instead of minimizing the distance product;
         * ``require_ordering=False`` drops the requirement that one
           barrier actually orders the object pair.
+
+        Passing ``index`` reuses a caller-owned :class:`PairingIndex`
+        (and its candidate memo) instead of building one from ``sites``
+        — the engine's incremental path.
         """
-        self._sites = sites
+        if index is not None and sites is not None:
+            raise ValueError("pass either sites or index, not both")
         self._min_common = min_common_objects
         self._allow_same_function = allow_same_function
         self._include_unresolved = include_unresolved
         self._use_distance_weight = use_distance_weight
         self._require_ordering = require_ordering
-        self._obj_to_barriers: dict[ObjectKey, list[BarrierSite]] = defaultdict(list)
-        for site in sites:
-            for key in site.keys():
-                if include_unresolved or key.is_resolved:
-                    self._obj_to_barriers[key].append(site)
+        if index is None:
+            index = PairingIndex(include_unresolved=include_unresolved)
+            by_file: dict[str, list[BarrierSite]] = {}
+            for site in sites or []:
+                by_file.setdefault(site.filename, []).append(site)
+            for path, group in by_file.items():
+                index.add_sites(path, group)
+        elif index.include_unresolved != include_unresolved:
+            rebuilt = PairingIndex(include_unresolved=include_unresolved)
+            for path in index.files():
+                rebuilt.add_sites(path, index.file_sites(path))
+            index = rebuilt
+        self._index = index
+        #: Filled by :meth:`pair`; read by the engine's profiler.
+        self.stats: dict[str, int] = {}
+
+    def _config_token(self) -> tuple:
+        return (
+            self._min_common,
+            self._allow_same_function,
+            self._include_unresolved,
+            self._use_distance_weight,
+            self._require_ordering,
+        )
 
     # -- public API ----------------------------------------------------------
 
@@ -80,11 +223,19 @@ class PairingEngine:
         result = PairingResult()
         candidates: list[_Candidate] = []
         deferred_ipc: set[str] = set()
+        cache = self._index.candidate_cache(self._config_token())
+        self.stats = {"candidates_reused": 0, "candidates_computed": 0}
 
-        for site in self._sites:
+        for site in self._index.sites():
             if not site.is_write_barrier:
                 continue
-            best = self._best_candidate(site)
+            if site.barrier_id in cache:
+                best = cache[site.barrier_id]
+                self.stats["candidates_reused"] += 1
+            else:
+                best = self._best_candidate(site)
+                cache[site.barrier_id] = best
+                self.stats["candidates_computed"] += 1
             if best is None:
                 if site.wakeup_after is not None:
                     deferred_ipc.add(site.barrier_id)
@@ -101,7 +252,7 @@ class PairingEngine:
         result.pairings = pairings
 
         paired = result.paired_barriers
-        for site in self._sites:
+        for site in self._index.sites():
             if site.barrier_id not in paired and site.barrier_id not in deferred_ipc:
                 result.unpaired.append(site)
         return result
@@ -161,11 +312,14 @@ class PairingEngine:
         self, site: BarrierSite, o1: ObjectKey, o2: ObjectKey
     ) -> tuple[BarrierSite | None, float]:
         """Other barriers whose windows contain both o1 and o2; pick the one
-        with the smallest distance product (``get_pair`` in Algorithm 1)."""
-        set1 = self._obj_to_barriers.get(o1, ())
-        set2 = {b.barrier_id for b in self._obj_to_barriers.get(o2, ())}
+        with the smallest distance product (``get_pair`` in Algorithm 1).
+        Ties go to the candidate earliest in canonical site order, keeping
+        incremental runs identical to from-scratch runs."""
+        set1 = self._index.barriers_for(o1)
+        set2 = {b.barrier_id for b in self._index.barriers_for(o2)}
         best: BarrierSite | None = None
         best_weight = math.inf
+        best_order: tuple[str, int] | None = None
         for other in set1:
             if other.barrier_id == site.barrier_id:
                 continue
@@ -183,8 +337,13 @@ class PairingEngine:
             weight = float(use1.distance * use2.distance)
             if not self._use_distance_weight:
                 return other, weight  # ablation: first match wins
-            if weight < best_weight:
-                best, best_weight = other, weight
+            order = self._index.order_key(other)
+            if weight < best_weight or (
+                weight == best_weight
+                and best_order is not None
+                and order < best_order
+            ):
+                best, best_weight, best_order = other, weight, order
         return best, best_weight
 
     def _ipc_is_closer(self, site: BarrierSite, candidate: _Candidate) -> bool:
@@ -206,7 +365,11 @@ class PairingEngine:
         """Keep, per barrier, only the lowest-weight pairing."""
         taken: set[str] = set()
         pairings: list[Pairing] = []
-        for cand in sorted(candidates, key=lambda c: c.weight):
+        ordered = sorted(
+            candidates,
+            key=lambda c: (c.weight, self._index.order_key(c.writer)),
+        )
+        for cand in ordered:
             if cand.writer.barrier_id in taken or cand.match.barrier_id in taken:
                 continue
             taken.add(cand.writer.barrier_id)
@@ -239,20 +402,34 @@ class PairingEngine:
 
         A barrier already paired elsewhere may still join when its window
         contains the full common-object set — this is how the four
-        seqcount barriers of Figure 5 coalesce.  Pairings whose barrier
-        set ends up contained in another pairing are dropped afterwards.
+        seqcount barriers of Figure 5 coalesce.  Candidates come from the
+        object map (any barrier containing all common objects must appear
+        under each of them), so only the smallest per-key barrier list is
+        scanned instead of every site.  Pairings whose barrier set ends
+        up contained in another pairing are dropped afterwards.
         """
         for pairing in pairings:
             needed = set(pairing.common_objects)
             if not needed:
                 continue
             member_ids = {b.barrier_id for b in pairing.barriers}
-            for site in self._sites:
+            smallest = min(
+                (self._index.barriers_for(key) for key in needed),
+                key=len,
+            )
+            joiners = sorted(
+                (
+                    site for site in smallest
+                    if site.barrier_id not in member_ids
+                    and needed <= site.keys()
+                ),
+                key=self._index.order_key,
+            )
+            for site in joiners:
                 if site.barrier_id in member_ids:
                     continue
-                if needed <= site.keys():
-                    pairing.barriers.append(site)
-                    member_ids.add(site.barrier_id)
+                pairing.barriers.append(site)
+                member_ids.add(site.barrier_id)
         # Deduplicate: drop pairings subsumed by an earlier (lower-weight)
         # pairing's barrier set.
         kept: list[Pairing] = []

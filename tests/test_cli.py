@@ -70,6 +70,57 @@ class TestCorpusCommands:
         assert "window=5" in out
 
 
+class TestPerformanceFlags:
+    def test_analyze_with_workers_and_profile(self, sources, capsys):
+        writer, reader = sources
+        assert main([
+            "analyze", str(writer), str(reader),
+            "--workers", "2", "--profile",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Stage profile" in out
+        assert "scan" in out and "pair" in out
+
+    def test_analyze_cache_dir_warm_run(self, sources, tmp_path, capsys):
+        writer, reader = sources
+        cache = tmp_path / "scan-cache"
+        for _ in range(2):
+            assert main([
+                "analyze", str(writer), str(reader),
+                "--cache-dir", str(cache), "--profile",
+            ]) == 0
+        out = capsys.readouterr().out
+        assert "scan.disk_hits" in out
+        assert "2 barriers, 1 pairings" in out
+
+    def test_cache_dir_pointing_at_file_is_a_clean_error(
+        self, sources, tmp_path
+    ):
+        writer, reader = sources
+        blocker = tmp_path / "notadir"
+        blocker.write_text("")
+        with pytest.raises(SystemExit, match="not a directory"):
+            main([
+                "analyze", str(writer), str(reader),
+                "--cache-dir", str(blocker),
+            ])
+
+    def test_corpus_accepts_perf_flags(self, tmp_path, capsys):
+        assert main([
+            "corpus", "--small", "--seed", "5",
+            "--cache-dir", str(tmp_path / "c"), "--profile",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Table 3" in out
+        assert "Stage profile" in out
+
+    def test_report_accepts_perf_flags(self, capsys):
+        assert main(["report", "--small", "--seed", "5", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 7" in out
+        assert "Stage profile" in out
+
+
 class TestArgumentErrors:
     def test_missing_subcommand_exits(self):
         with pytest.raises(SystemExit):

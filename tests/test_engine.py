@@ -122,6 +122,31 @@ class TestIncremental:
         second = engine.reanalyze_file("r.c", READER)
         assert second.report.ordering_findings == []
 
+    def test_reanalyze_clears_fixed_parse_error(self, engine_for):
+        # Regression: the failure list used to be computed from the cache
+        # *before* the re-scan, so a just-fixed file stayed listed in
+        # ``files_failed``.
+        engine = engine_for({
+            "bad.c": "void f( { smp_wmb(); }",
+            "w.c": WRITER, "r.c": READER,
+        })
+        first = engine.analyze()
+        assert first.files_failed == ["bad.c"]
+        fixed = engine.reanalyze_file(
+            "bad.c",
+            "struct shared { int flag; int data; };\n"
+            "void f(struct shared *p) { p->data = 2; smp_wmb(); "
+            "p->flag = 1; }\n",
+        )
+        assert fixed.files_failed == []
+        assert fixed.files_analyzed == 3
+
+    def test_reanalyze_reports_newly_broken_file(self, engine_for):
+        engine = engine_for({"w.c": WRITER, "r.c": READER})
+        assert engine.analyze().files_failed == []
+        broken = engine.reanalyze_file("r.c", "void r( { smp_rmb(); }")
+        assert broken.files_failed == ["r.c"]
+
     def test_reanalyze_without_text_change(self, engine_for):
         engine = engine_for({"w.c": WRITER, "r.c": READER})
         engine.analyze()

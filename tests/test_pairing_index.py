@@ -1,0 +1,143 @@
+"""Tests for the incremental PairingIndex and its candidate memo."""
+
+import pytest
+
+from repro.analysis.barrier_scan import BarrierScanner
+from repro.cparse import parse_source
+from repro.pairing.algorithm import PairingEngine, PairingIndex
+
+WRITER = """
+struct shared { int flag; int data; };
+void w(struct shared *p) { p->data = 1; smp_wmb(); p->flag = 1; }
+"""
+READER = """
+struct shared { int flag; int data; };
+void r(struct shared *p) {
+    if (!p->flag) return;
+    smp_rmb();
+    g(p->data);
+}
+"""
+OTHER_WRITER = """
+struct other { int a; int b; };
+void ow(struct other *p) { p->a = 1; smp_wmb(); p->b = 1; }
+"""
+
+
+def sites_of(source: str, filename: str):
+    unit = parse_source(source, filename)
+    return BarrierScanner(unit, filename=filename).scan()
+
+
+def describe(result):
+    return (
+        [p.describe() for p in result.pairings],
+        [s.barrier_id for s in result.unpaired],
+    )
+
+
+class TestIndexDeltas:
+    def test_add_and_remove_roundtrip(self):
+        index = PairingIndex()
+        w = sites_of(WRITER, "w.c")
+        index.add_sites("w.c", w)
+        assert index.site_count() == 1
+        assert index.files() == ["w.c"]
+        index.remove_file("w.c")
+        assert index.site_count() == 0
+        assert index.barriers_for(w[0].keys().pop()) == []
+
+    def test_update_file_is_identity_noop(self):
+        index = PairingIndex()
+        w = sites_of(WRITER, "w.c")
+        index.add_sites("w.c", w)
+        updates = index.updates
+        assert index.update_file("w.c", w) is False
+        assert index.updates == updates
+        assert index.update_file("w.c", sites_of(WRITER, "w.c")) is True
+
+    def test_canonical_site_order_ignores_insertion_order(self):
+        forward = PairingIndex()
+        forward.add_sites("a.c", sites_of(WRITER, "a.c"))
+        forward.add_sites("b.c", sites_of(READER, "b.c"))
+        backward = PairingIndex()
+        backward.add_sites("b.c", sites_of(READER, "b.c"))
+        backward.add_sites("a.c", sites_of(WRITER, "a.c"))
+        assert [s.barrier_id for s in forward.sites()] == \
+            [s.barrier_id for s in backward.sites()]
+
+
+class TestIncrementalPairing:
+    def test_delta_sequence_matches_fresh_build(self):
+        index = PairingIndex()
+        index.add_sites("w.c", sites_of(WRITER, "w.c"))
+        index.add_sites("r.c", sites_of(READER, "r.c"))
+        index.add_sites("ow.c", sites_of(OTHER_WRITER, "ow.c"))
+        first = PairingEngine(index=index).pair()
+
+        # Churn: remove and re-add a file, then pair again.
+        index.remove_file("r.c")
+        assert PairingEngine(index=index).pair().pairings == []
+        index.add_sites("r.c", sites_of(READER, "r.c"))
+        second = PairingEngine(index=index).pair()
+
+        fresh = PairingEngine(
+            sites_of(WRITER, "w.c") + sites_of(READER, "r.c")
+            + sites_of(OTHER_WRITER, "ow.c")
+        ).pair()
+        assert describe(first) == describe(fresh)
+        assert describe(second) == describe(fresh)
+
+    def test_candidate_memo_reused_across_runs(self):
+        index = PairingIndex()
+        index.add_sites("w.c", sites_of(WRITER, "w.c"))
+        index.add_sites("r.c", sites_of(READER, "r.c"))
+        engine = PairingEngine(index=index)
+        engine.pair()
+        assert engine.stats["candidates_computed"] > 0
+
+        again = PairingEngine(index=index)
+        again.pair()
+        assert again.stats["candidates_computed"] == 0
+        assert again.stats["candidates_reused"] == \
+            engine.stats["candidates_computed"]
+
+    def test_memo_invalidated_only_for_touched_objects(self):
+        index = PairingIndex()
+        index.add_sites("w.c", sites_of(WRITER, "w.c"))
+        index.add_sites("r.c", sites_of(READER, "r.c"))
+        index.add_sites("ow.c", sites_of(OTHER_WRITER, "ow.c"))
+        PairingEngine(index=index).pair()
+
+        # Touch only the (struct other) file: the (struct shared)
+        # writer's memoized candidate must survive.
+        index.update_file("ow.c", sites_of(OTHER_WRITER, "ow.c"))
+        engine = PairingEngine(index=index)
+        result = engine.pair()
+        assert engine.stats["candidates_reused"] >= 1
+        assert engine.stats["candidates_computed"] == 1
+        assert len(result.pairings) == 1
+
+    def test_memo_dropped_when_config_changes(self):
+        index = PairingIndex()
+        index.add_sites("w.c", sites_of(WRITER, "w.c"))
+        index.add_sites("r.c", sites_of(READER, "r.c"))
+        PairingEngine(index=index).pair()
+        relaxed = PairingEngine(index=index, require_ordering=False)
+        relaxed.pair()
+        assert relaxed.stats["candidates_computed"] > 0
+        assert relaxed.stats["candidates_reused"] == 0
+
+    def test_sites_and_index_are_mutually_exclusive(self):
+        with pytest.raises(ValueError):
+            PairingEngine(sites_of(WRITER, "w.c"), index=PairingIndex())
+
+    def test_mismatched_unresolved_flag_rebuilds_privately(self):
+        index = PairingIndex(include_unresolved=False)
+        index.add_sites("w.c", sites_of(WRITER, "w.c"))
+        index.add_sites("r.c", sites_of(READER, "r.c"))
+        engine = PairingEngine(index=index, include_unresolved=True)
+        result = engine.pair()
+        # The shared index must stay untouched by the private rebuild.
+        assert index.include_unresolved is False
+        assert len(result.pairings) == 1

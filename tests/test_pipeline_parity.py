@@ -1,0 +1,112 @@
+"""Parity suite: every execution mode must produce identical results.
+
+The performance layer (content-addressed cache, slim worker protocol,
+incremental pairing index) must be invisible in the output: serial,
+parallel, cached-warm, and incremental runs all yield the same sites,
+pairings, findings, and patches on the same source tree.
+"""
+
+import pytest
+
+from repro.core.engine import AnalysisOptions, OFenceEngine
+from repro.corpus import CorpusSpec, generate_corpus
+
+
+def signature(result):
+    """Everything observable about an :class:`AnalysisResult`."""
+    return {
+        "files_with_barriers": result.files_with_barriers,
+        "files_analyzed": result.files_analyzed,
+        "files_skipped": result.files_skipped_by_config,
+        "files_failed": result.files_failed,
+        "sites": [site.barrier_id for site in result.sites],
+        "pairings": [p.describe() for p in result.pairing.pairings],
+        "implicit_ipc": [s.barrier_id for s in result.pairing.implicit_ipc],
+        "unpaired": [s.barrier_id for s in result.pairing.unpaired],
+        "findings": [f.describe() for f in result.report.all_findings],
+        "patches": [(p.filename, p.applied, p.render())
+                    for p in result.patches],
+    }
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_corpus(CorpusSpec.small(), seed=77)
+
+
+@pytest.fixture(scope="module")
+def serial_signature(corpus):
+    return signature(OFenceEngine(corpus.source).analyze())
+
+
+class TestModeParity:
+    def test_parallel_matches_serial(self, corpus, serial_signature):
+        parallel = OFenceEngine(
+            corpus.source, AnalysisOptions(workers=2)
+        ).analyze()
+        assert signature(parallel) == serial_signature
+
+    def test_disk_cache_warm_matches_serial(
+        self, corpus, serial_signature, tmp_path
+    ):
+        options = AnalysisOptions(cache_dir=tmp_path / "cache")
+        cold = OFenceEngine(corpus.source, options).analyze()
+        assert signature(cold) == serial_signature
+        # A fresh engine over the same tree: everything loads from disk.
+        warm_engine = OFenceEngine(corpus.source, options)
+        warm = warm_engine.analyze()
+        assert signature(warm) == serial_signature
+        counters = warm.profile.counters
+        assert counters.get("scan.scanned", 0) == 0
+        assert counters["scan.disk_hits"] == warm.files_analyzed
+
+    def test_memory_warm_matches_serial(self, corpus, serial_signature):
+        engine = OFenceEngine(corpus.source)
+        engine.analyze()
+        warm = engine.analyze()
+        assert signature(warm) == serial_signature
+        counters = warm.profile.counters
+        assert counters["scan.memory_hits"] == warm.files_analyzed
+        assert counters.get("scan.scanned", 0) == 0
+        # The pairing index was reused wholesale: no file deltas, and
+        # every writer's candidate came from the memo.
+        assert counters.get("pair.files_updated", 0) == 0
+        assert counters.get("pair.candidates_computed", 0) == 0
+
+    def test_incremental_noop_matches_serial(self, corpus, serial_signature):
+        engine = OFenceEngine(corpus.source)
+        engine.analyze()
+        path = corpus.source.files_with_barriers()[0]
+        again = engine.reanalyze_file(path)
+        assert signature(again) == serial_signature
+
+    def test_incremental_edit_matches_fresh_analysis(self, corpus):
+        from repro.core.engine import KernelSource
+
+        def copy_source():
+            return KernelSource(
+                files=dict(corpus.source.files),
+                headers=dict(corpus.source.headers),
+                file_options=dict(corpus.source.file_options),
+            )
+
+        path = corpus.source.files_with_barriers()[0]
+        edited = corpus.source.files[path] + "\n/* trailing comment */\n"
+
+        incremental_engine = OFenceEngine(copy_source())
+        incremental_engine.analyze()
+        incremental = incremental_engine.reanalyze_file(path, edited)
+
+        fresh_source = copy_source()
+        fresh_source.files[path] = edited
+        fresh = OFenceEngine(fresh_source).analyze()
+        assert signature(incremental) == signature(fresh)
+
+    def test_parallel_then_incremental_matches_serial(
+        self, corpus, serial_signature
+    ):
+        engine = OFenceEngine(corpus.source, AnalysisOptions(workers=2))
+        engine.analyze()
+        path = corpus.source.files_with_barriers()[-1]
+        again = engine.reanalyze_file(path)
+        assert signature(again) == serial_signature

@@ -1,0 +1,60 @@
+"""Tests for the stage profiler (repro.core.profile)."""
+
+from repro.core.engine import KernelSource, OFenceEngine
+from repro.core.profile import StageProfile
+
+
+class TestStageProfile:
+    def test_stage_context_manager_accumulates(self):
+        profile = StageProfile()
+        with profile.stage("scan"):
+            pass
+        with profile.stage("scan"):
+            pass
+        assert profile.stages["scan"] >= 0.0
+        assert len(profile.stages) == 1
+
+    def test_coarse_hides_substages(self):
+        profile = StageProfile()
+        profile.add("scan", 1.0)
+        profile.add("scan.keys", 0.25)
+        profile.add("pair", 0.5)
+        assert profile.coarse() == {"scan": 1.0, "pair": 0.5}
+
+    def test_counters_accumulate(self):
+        profile = StageProfile()
+        profile.count("scan.memory_hits")
+        profile.count("scan.memory_hits", 3)
+        assert profile.counters["scan.memory_hits"] == 4
+
+    def test_render_lists_stages_and_counters(self):
+        profile = StageProfile()
+        profile.add("scan", 0.5)
+        profile.add("scan.keys", 0.1)
+        profile.count("scan.disk_hits", 7)
+        text = profile.render()
+        assert "Stage profile" in text
+        assert "scan" in text and "scan.keys" in text
+        assert "scan.disk_hits" in text and "7" in text
+
+
+class TestEngineProfile:
+    SRC = {
+        "w.c": "struct s { int a; int b; };\n"
+               "void w(struct s *p) { p->a = 1; smp_wmb(); p->b = 1; }\n",
+    }
+
+    def test_result_carries_profile(self):
+        result = OFenceEngine(KernelSource(files=dict(self.SRC))).analyze()
+        assert result.profile.coarse() == result.stage_seconds
+        assert set(result.stage_seconds) == {"scan", "pair", "check", "patch"}
+        assert "pair.sync" in result.profile.stages
+        assert result.profile.counters["scan.scanned"] == 1
+
+    def test_incremental_run_reports_index_reuse(self):
+        engine = OFenceEngine(KernelSource(files=dict(self.SRC)))
+        engine.analyze()
+        again = engine.reanalyze_file("w.c")
+        counters = again.profile.counters
+        assert counters.get("pair.files_updated", 0) == 0
+        assert counters.get("scan.memory_hits") == 1

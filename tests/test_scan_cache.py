@@ -1,0 +1,205 @@
+"""Tests for the content-addressed scan cache (repro.core.cache)."""
+
+import pickle
+
+import pytest
+
+from repro.analysis.barrier_scan import ScanLimits
+from repro.core.cache import (
+    CACHE_FORMAT,
+    CachedScan,
+    ScanCache,
+    header_closure,
+    scan_key,
+)
+from repro.core.engine import AnalysisOptions, KernelSource, OFenceEngine
+
+WRITER = (
+    "struct s { int flag; int data; };\n"
+    "void w(struct s *p) { p->data = 1; smp_wmb(); p->flag = 1; }\n"
+)
+READER = (
+    "struct s { int flag; int data; };\n"
+    "void r(struct s *p) {\n"
+    "\tif (!p->flag) return;\n"
+    "\tsmp_rmb();\n"
+    "\tg(p->data);\n"
+    "}\n"
+)
+
+
+class TestScanKey:
+    LIMITS = ScanLimits()
+
+    def key(self, text="int x;", defines=None, headers=(), limits=None):
+        return scan_key(
+            text, defines or {}, list(headers), limits or self.LIMITS
+        )
+
+    def test_deterministic(self):
+        assert self.key() == self.key()
+
+    def test_changes_with_text(self):
+        assert self.key(text="int x;") != self.key(text="int y;")
+
+    def test_changes_with_defines(self):
+        assert self.key() != self.key(defines={"CONFIG_NET": "1"})
+
+    def test_define_order_does_not_matter(self):
+        assert self.key(defines={"A": "1", "B": "2"}) == \
+            self.key(defines={"B": "2", "A": "1"})
+
+    def test_changes_with_header_text(self):
+        assert self.key(headers=[("h.h", "int a;")]) != \
+            self.key(headers=[("h.h", "int b;")])
+
+    def test_changes_with_limits(self):
+        assert self.key() != \
+            self.key(limits=ScanLimits(write_window=7, read_window=50))
+
+
+class TestHeaderClosure:
+    def test_transitive_resolution(self):
+        headers = {
+            "a.h": '#include "b.h"\nint a;\n',
+            "b.h": "int b;\n",
+            "unused.h": "int u;\n",
+        }
+        closure = header_closure(
+            '#include "a.h"\nint x;\n', lambda name, sys: headers.get(name)
+        )
+        assert [name for name, _ in closure] == ["a.h", "b.h"]
+
+    def test_unresolvable_includes_skipped(self):
+        closure = header_closure(
+            "#include <linux/kernel.h>\nint x;\n", lambda name, sys: None
+        )
+        assert closure == []
+
+
+class TestDiskCache:
+    def test_directory_path_that_is_a_file_is_rejected(self, tmp_path):
+        blocker = tmp_path / "notadir"
+        blocker.write_text("")
+        with pytest.raises(ValueError, match="unusable scan cache"):
+            ScanCache(blocker)
+
+    def test_round_trip(self, tmp_path):
+        cache = ScanCache(tmp_path)
+        payload = CachedScan(filename="f.c", sites=[], parse_error=None)
+        cache.store("ab" * 32, payload)
+        loaded = cache.load("ab" * 32)
+        assert loaded is not None
+        assert loaded.filename == "f.c"
+        assert cache.stats.disk_hits == 1
+
+    def test_disabled_cache_never_hits(self):
+        cache = ScanCache(None)
+        cache.store("ab" * 32, CachedScan("f.c", []))
+        assert cache.load("ab" * 32) is None
+
+    def test_miss_for_unknown_key(self, tmp_path):
+        assert ScanCache(tmp_path).load("cd" * 32) is None
+
+    def test_truncated_entry_rejected(self, tmp_path):
+        cache = ScanCache(tmp_path)
+        key = "ab" * 32
+        cache.store(key, CachedScan("f.c", []))
+        path = cache._path(key)
+        path.write_bytes(path.read_bytes()[:10])
+        assert cache.load(key) is None
+        assert cache.stats.rejected == 1
+
+    def test_garbage_entry_rejected(self, tmp_path):
+        cache = ScanCache(tmp_path)
+        key = "ab" * 32
+        cache.store(key, CachedScan("f.c", []))
+        cache._path(key).write_bytes(b"not a pickle at all")
+        assert cache.load(key) is None
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        cache = ScanCache(tmp_path)
+        key = "ab" * 32
+        entry = {
+            "format": CACHE_FORMAT + 1,
+            "key": key,
+            "payload": CachedScan("f.c", []),
+        }
+        cache._path(key).parent.mkdir(parents=True, exist_ok=True)
+        cache._path(key).write_bytes(pickle.dumps(entry))
+        assert cache.load(key) is None
+        assert cache.stats.rejected == 1
+
+    def test_key_mismatch_rejected(self, tmp_path):
+        cache = ScanCache(tmp_path)
+        key, other = "ab" * 32, "cd" * 32
+        cache.store(other, CachedScan("f.c", []))
+        # Copy the entry under the wrong key (e.g. a renamed file).
+        cache._path(key).parent.mkdir(parents=True, exist_ok=True)
+        cache._path(key).write_bytes(cache._path(other).read_bytes())
+        assert cache.load(key) is None
+
+
+class TestEngineCacheIntegration:
+    def files(self):
+        return {"w.c": WRITER, "r.c": READER}
+
+    def test_warm_engine_skips_scanning(self, tmp_path):
+        options = AnalysisOptions(cache_dir=tmp_path)
+        OFenceEngine(KernelSource(files=self.files()), options).analyze()
+        warm = OFenceEngine(
+            KernelSource(files=self.files()), options
+        ).analyze()
+        assert warm.profile.counters["scan.disk_hits"] == 2
+        assert warm.profile.counters.get("scan.scanned", 0) == 0
+        assert len(warm.pairing.pairings) == 1
+
+    def test_corrupted_entries_silently_rescanned(self, tmp_path):
+        options = AnalysisOptions(cache_dir=tmp_path)
+        cold = OFenceEngine(
+            KernelSource(files=self.files()), options
+        ).analyze()
+        for entry in tmp_path.rglob("*.pkl"):
+            entry.write_bytes(b"\x80corrupted")
+        recovered = OFenceEngine(
+            KernelSource(files=self.files()), options
+        ).analyze()
+        assert recovered.profile.counters["scan.scanned"] == 2
+        assert [p.describe() for p in recovered.pairing.pairings] == \
+            [p.describe() for p in cold.pairing.pairings]
+
+    def test_parse_errors_are_cached(self, tmp_path):
+        files = {"bad.c": "void broken( { smp_wmb();", **self.files()}
+        options = AnalysisOptions(cache_dir=tmp_path)
+        first = OFenceEngine(KernelSource(files=files), options).analyze()
+        assert first.files_failed == ["bad.c"]
+        warm = OFenceEngine(KernelSource(files=files), options).analyze()
+        assert warm.files_failed == ["bad.c"]
+        assert warm.profile.counters.get("scan.scanned", 0) == 0
+
+    def test_in_memory_key_invalidation_on_config_change(self):
+        from repro.kernel.config import KernelConfig
+
+        source = KernelSource(files=self.files())
+        engine = OFenceEngine(source)
+        engine.analyze()
+        # Same engine, mutated config: the key changes, files re-scan.
+        engine.options.config = KernelConfig(options={"CONFIG_NEW": True})
+        again = engine.analyze()
+        assert again.profile.counters.get("scan.memory_hits", 0) == 0
+        assert again.profile.counters["scan.scanned"] == 2
+
+
+class TestBarrierPrefilterMemo:
+    def test_memo_reused_for_unchanged_text(self):
+        source = KernelSource(files={"w.c": WRITER, "plain.c": "int x;\n"})
+        assert source.files_with_barriers() == ["w.c"]
+        memo_before = dict(source._barrier_memo)
+        assert source.files_with_barriers() == ["w.c"]
+        assert source._barrier_memo == memo_before
+
+    def test_memo_invalidated_on_edit(self):
+        source = KernelSource(files={"f.c": "int x;\n"})
+        assert source.files_with_barriers() == []
+        source.files["f.c"] = WRITER
+        assert source.files_with_barriers() == ["f.c"]
