@@ -1,0 +1,9 @@
+"""``python -m repro`` entry point (same CLI as the ``ofence``/``repro``
+console scripts)."""
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

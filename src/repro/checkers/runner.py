@@ -22,12 +22,26 @@ from repro.pairing.model import PairingResult
 
 
 @dataclass
+class CheckerFailure:
+    """One checker that raised; surfaced instead of crashing the run."""
+
+    checker: str
+    error: str
+
+    def describe(self) -> str:
+        return f"checker {self.checker} failed: {self.error}"
+
+
+@dataclass
 class CheckReport:
     """All findings of one analysis run, bucketed."""
 
     ordering_findings: list[Finding] = field(default_factory=list)
     unneeded_findings: list[Finding] = field(default_factory=list)
     annotation_findings: list[Finding] = field(default_factory=list)
+    #: Checkers that raised on this input (never-raise guarantee: a
+    #: crashing checker degrades to a structured entry, not an abort).
+    checker_failures: list[CheckerFailure] = field(default_factory=list)
 
     @property
     def all_findings(self) -> list[Finding]:
@@ -99,24 +113,37 @@ class CheckerSuite:
         claimed: set = set()
         if self.enabled("reread"):
             reread = RepeatedReadChecker(self._cfg_lookup)
-            reread_result = reread.check(check_list)
-            report.ordering_findings.extend(reread_result.findings)
-            claimed = reread_result.claimed
+            reread_result = self._guarded(
+                report, "reread", lambda: reread.check(check_list)
+            )
+            if reread_result is not None:
+                report.ordering_findings.extend(reread_result.findings)
+                claimed = reread_result.claimed
 
         if self.enabled("misplaced"):
             misplaced = MisplacedAccessChecker(skip=claimed)
-            report.ordering_findings.extend(misplaced.check(check_list))
+            report.ordering_findings.extend(
+                self._guarded(
+                    report, "misplaced", lambda: misplaced.check(check_list)
+                ) or []
+            )
 
         if self.enabled("wrong-type"):
             wrong_type = WrongBarrierTypeChecker()
             report.ordering_findings.extend(
-                wrong_type.check(result.pairings)
+                self._guarded(
+                    report, "wrong-type",
+                    lambda: wrong_type.check(result.pairings),
+                ) or []
             )
 
         if self.enabled("seqcount"):
             seqcount = SeqcountChecker(self._cfg_lookup)
             report.ordering_findings.extend(
-                seqcount.check(result.pairings)
+                self._guarded(
+                    report, "seqcount",
+                    lambda: seqcount.check(result.pairings),
+                ) or []
             )
 
         report.ordering_findings = _dedupe_findings(
@@ -126,7 +153,12 @@ class CheckerSuite:
         if self.enabled("unneeded"):
             unneeded = UnneededBarrierChecker()
             report.unneeded_findings.extend(
-                unneeded.check(result.unpaired + result.implicit_ipc)
+                self._guarded(
+                    report, "unneeded",
+                    lambda: unneeded.check(
+                        result.unpaired + result.implicit_ipc
+                    ),
+                ) or []
             )
 
         if self._annotate:
@@ -139,13 +171,27 @@ class CheckerSuite:
                     buggy.add(id(finding.pairing.parent))
             annotate = AnnotationChecker()
             report.annotation_findings.extend(
-                annotate.check(result.pairings, buggy)
+                self._guarded(
+                    report, "annotate",
+                    lambda: annotate.check(result.pairings, buggy),
+                ) or []
             )
 
         report.ordering_findings.sort(
             key=lambda f: (f.filename, f.function, f.line)
         )
         return report
+
+    @staticmethod
+    def _guarded(report: CheckReport, name: str, run):
+        """Run one checker; a raise becomes a :class:`CheckerFailure`."""
+        try:
+            return run()
+        except Exception as exc:
+            report.checker_failures.append(
+                CheckerFailure(name, f"{type(exc).__name__}: {exc}")
+            )
+            return None
 
 
 def _broadcast_slices(pairing) -> list:

@@ -87,6 +87,31 @@ def _build_parser() -> argparse.ArgumentParser:
              "(Figures 2/3 semantics)",
     )
     litmus.add_argument("files", nargs="+", type=Path)
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="seeded fuzzing with crash, differential, and metamorphic "
+             "oracles; failures are minimized into fuzz/artifacts/",
+    )
+    fuzz.add_argument("--iterations", type=int, default=50)
+    fuzz.add_argument("--seed", type=int, default=0)
+    fuzz.add_argument("--artifacts", type=Path,
+                      default=Path("fuzz/artifacts"),
+                      help="directory for minimized reproducers")
+    fuzz.add_argument("--max-files", type=int, default=3,
+                      help="files per generated case")
+    fuzz.add_argument("--modes", default=None, metavar="M1,M2",
+                      help="comma-separated run modes for the "
+                           "differential oracle (default: all)")
+    fuzz.add_argument("--no-reduce", action="store_true",
+                      help="skip delta-debugging of failing inputs")
+
+    eval_cmd = sub.add_parser(
+        "eval",
+        help="per-checker precision/recall against planted ground truth",
+    )
+    eval_cmd.add_argument("--cases", type=int, default=20)
+    eval_cmd.add_argument("--seed", type=int, default=0)
     return parser
 
 
@@ -201,6 +226,33 @@ def cmd_litmus(args) -> int:
     return 1 if bad else 0
 
 
+def cmd_fuzz(args) -> int:
+    from repro.fuzz import DEFAULT_MODES, run_fuzz
+
+    modes = DEFAULT_MODES
+    if args.modes:
+        modes = tuple(m.strip() for m in args.modes.split(",") if m.strip())
+        if "serial" not in modes:
+            modes = ("serial",) + modes
+    report = run_fuzz(
+        iterations=args.iterations,
+        seed=args.seed,
+        artifacts_dir=str(args.artifacts),
+        reduce=not args.no_reduce,
+        modes=modes,
+        max_files=args.max_files,
+    )
+    print(report.render())
+    return 0 if report.ok else 1
+
+
+def cmd_eval(args) -> int:
+    from repro.fuzz import evaluate
+
+    print(evaluate(cases=args.cases, seed=args.seed).render())
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     handler = {
@@ -210,6 +262,8 @@ def main(argv: list[str] | None = None) -> int:
         "report": cmd_report,
         "json": cmd_json,
         "litmus": cmd_litmus,
+        "fuzz": cmd_fuzz,
+        "eval": cmd_eval,
     }[args.command]
     return handler(args)
 

@@ -27,11 +27,14 @@ The pipeline is incremental end to end:
 
 from __future__ import annotations
 
+import dataclasses
 import multiprocessing
 import re
+import tempfile
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Callable
 
 from repro.analysis.barrier_scan import BarrierScanner, BarrierSite, ScanLimits
 from repro.checkers.runner import CheckerSuite, CheckReport
@@ -54,6 +57,47 @@ _BARRIER_RE = re.compile(
     + r"|rcu_assign_pointer|rcu_dereference(?:_protected|_check)?"
     + r")\s*\("
 )
+
+
+#: Marker prefix for failures that are not plain parse errors (scanner
+#: or CFG construction raising on pathological input).  The pipeline
+#: must never crash on arbitrary kernel-style C — internal errors are
+#: captured per file and surfaced through :class:`FileFailure`.
+_INTERNAL_PREFIX = "internal-error: "
+
+
+class FileFailure(str):
+    """One failed file, comparing as its path.
+
+    The string value is the file path — existing callers that treat
+    ``files_failed`` as ``list[str]`` keep working — while ``stage``
+    ("parse" or "internal") and ``error`` carry the structured detail
+    the fuzzing oracles need to tell an expected parse rejection from a
+    genuine pipeline crash.
+    """
+
+    __slots__ = ("stage", "error")
+
+    def __new__(cls, path: str, stage: str = "parse", error: str = ""):
+        obj = super().__new__(cls, path)
+        obj.stage = stage
+        obj.error = error
+        return obj
+
+    @property
+    def path(self) -> str:
+        return str(self)
+
+    def describe(self) -> str:
+        return f"{self.path} [{self.stage}] {self.error}".rstrip()
+
+
+def _failure_entry(path: str, recorded_error: str) -> FileFailure:
+    if recorded_error.startswith(_INTERNAL_PREFIX):
+        return FileFailure(
+            path, "internal", recorded_error[len(_INTERNAL_PREFIX):]
+        )
+    return FileFailure(path, "parse", recorded_error)
 
 
 @dataclass
@@ -164,7 +208,8 @@ class AnalysisResult:
     files_with_barriers: int
     files_analyzed: int
     files_skipped_by_config: list[str]
-    files_failed: list[str]
+    #: Structured failure entries; each compares equal to its path.
+    files_failed: list[FileFailure]
     sites: list[BarrierSite]
     pairing: "PairingResult"
     report: CheckReport
@@ -214,14 +259,19 @@ def _scan_one(job: tuple[str, str]) -> CachedScan:
             text, path, defines=defines,
             include_resolver=lambda name, sys_inc: headers.get(name),
         )
+        registry = TypeRegistry()
+        registry.add_unit(unit)
+        scanner = BarrierScanner(
+            unit, registry=registry, limits=limits, filename=path
+        )
+        return CachedScan(filename=path, sites=scanner.scan())
     except ParseError as exc:
         return CachedScan(filename=path, sites=[], parse_error=str(exc))
-    registry = TypeRegistry()
-    registry.add_unit(unit)
-    scanner = BarrierScanner(
-        unit, registry=registry, limits=limits, filename=path
-    )
-    return CachedScan(filename=path, sites=scanner.scan())
+    except Exception as exc:  # never-raise guarantee: crash -> failure entry
+        return CachedScan(
+            filename=path, sites=[],
+            parse_error=f"{_INTERNAL_PREFIX}{type(exc).__name__}: {exc}",
+        )
 
 
 class OFenceEngine:
@@ -346,6 +396,8 @@ class OFenceEngine:
         with profile.stage("patch"):
             generator = PatchGenerator(self.source.files, self._cfg_lookup)
             patches = generator.generate_all(report.all_findings)
+            if generator.failures:
+                profile.count("patch.failed", len(generator.failures))
 
         self._profile = None
         return AnalysisResult(
@@ -426,9 +478,10 @@ class OFenceEngine:
         profile.count("scan.disk_hits")
         return True
 
-    def _failed_files(self, selected: list[str]) -> list[str]:
+    def _failed_files(self, selected: list[str]) -> list[FileFailure]:
         return [
-            path for path in selected
+            _failure_entry(path, cached.parse_error)
+            for path in selected
             if (cached := self._file_cache.get(path)) is not None
             and cached.parse_error is not None
         ]
@@ -479,21 +532,26 @@ class OFenceEngine:
                 defines=self.options.config.defines(),
                 include_resolver=self.source.resolve_include,
             )
-        except ParseError as exc:
+            registry = TypeRegistry()
+            registry.add_unit(unit)
+            scanner = BarrierScanner(
+                unit, registry=registry, limits=self.options.limits,
+                filename=path,
+            )
+            sites = scanner.scan()
+        except Exception as exc:
+            error = (
+                str(exc) if isinstance(exc, ParseError)
+                else f"{_INTERNAL_PREFIX}{type(exc).__name__}: {exc}"
+            )
             self._file_cache[path] = FileAnalysis(
                 filename=path, scanner=None, sites=[],
-                parse_error=str(exc), key=key,
+                parse_error=error, key=key,
             )
             self._disk_cache.store(
-                key, CachedScan(filename=path, sites=[], parse_error=str(exc))
+                key, CachedScan(filename=path, sites=[], parse_error=error)
             )
-            return str(exc)
-        registry = TypeRegistry()
-        registry.add_unit(unit)
-        scanner = BarrierScanner(
-            unit, registry=registry, limits=self.options.limits, filename=path
-        )
-        sites = scanner.scan()
+            return error
         self._file_cache[path] = FileAnalysis(
             filename=path, scanner=scanner, sites=sites, key=key
         )
@@ -534,15 +592,15 @@ class OFenceEngine:
                 defines=self.options.config.defines(),
                 include_resolver=self.source.resolve_include,
             )
-        except ParseError:
-            return
-        registry = TypeRegistry()
-        registry.add_unit(unit)
-        scanner = BarrierScanner(
-            unit, registry=registry, limits=self.options.limits,
-            filename=cached.filename,
-        )
-        fresh = scanner.scan()
+            registry = TypeRegistry()
+            registry.add_unit(unit)
+            scanner = BarrierScanner(
+                unit, registry=registry, limits=self.options.limits,
+                filename=cached.filename,
+            )
+            fresh = scanner.scan()
+        except Exception:
+            return  # checkers degrade gracefully without this file's CFGs
         if len(fresh) == len(cached.sites):
             for old_site, new_site in zip(cached.sites, fresh):
                 if len(old_site.uses) == len(new_site.uses):
@@ -554,3 +612,99 @@ class OFenceEngine:
 
     def file_analysis(self, path: str) -> FileAnalysis | None:
         return self._file_cache.get(path)
+
+
+# ---------------------------------------------------------------------------
+# Run modes — named end-to-end execution strategies
+# ---------------------------------------------------------------------------
+#
+# A run mode is a function ``(KernelSource, AnalysisOptions | None) ->
+# AnalysisResult`` that drives the whole pipeline with one execution
+# strategy (serial, parallel, disk-cached, incremental, ...).  The
+# registry makes the strategies enumerable, so the differential-testing
+# layer (``repro.fuzz``) can run any source tree through every mode and
+# diff the results; callers can register additional modes.
+
+RunModeFn = Callable[[KernelSource, "AnalysisOptions | None"], AnalysisResult]
+
+_RUN_MODES: dict[str, RunModeFn] = {}
+
+
+def register_run_mode(name: str):
+    """Decorator: register ``fn`` as the run mode called ``name``."""
+
+    def decorator(fn: RunModeFn) -> RunModeFn:
+        _RUN_MODES[name] = fn
+        return fn
+
+    return decorator
+
+
+def run_mode_names() -> list[str]:
+    return list(_RUN_MODES)
+
+
+def get_run_mode(name: str) -> RunModeFn:
+    try:
+        return _RUN_MODES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown run mode {name!r}; available: {sorted(_RUN_MODES)}"
+        ) from None
+
+
+def run_in_mode(
+    name: str, source: KernelSource, options: AnalysisOptions | None = None
+) -> AnalysisResult:
+    """Run one full analysis of ``source`` under the named mode."""
+    return get_run_mode(name)(source, options)
+
+
+def _mode_options(
+    options: AnalysisOptions | None, **overrides
+) -> AnalysisOptions:
+    base = options if options is not None else AnalysisOptions()
+    return dataclasses.replace(base, **overrides)
+
+
+@register_run_mode("serial")
+def _run_serial(
+    source: KernelSource, options: AnalysisOptions | None = None
+) -> AnalysisResult:
+    opts = _mode_options(options, workers=None, cache_dir=None)
+    return OFenceEngine(source, opts).analyze()
+
+
+@register_run_mode("parallel")
+def _run_parallel(
+    source: KernelSource, options: AnalysisOptions | None = None
+) -> AnalysisResult:
+    workers = options.workers if options is not None else None
+    if workers is None or workers < 2:
+        workers = 2
+    opts = _mode_options(options, workers=workers, cache_dir=None)
+    return OFenceEngine(source, opts).analyze()
+
+
+@register_run_mode("cached")
+def _run_cached(
+    source: KernelSource, options: AnalysisOptions | None = None
+) -> AnalysisResult:
+    """Cold run filling a throwaway disk cache, then a warm run from it."""
+    with tempfile.TemporaryDirectory(prefix="ofence-cache-") as tmp:
+        opts = _mode_options(options, workers=None, cache_dir=tmp)
+        OFenceEngine(source, opts).analyze()
+        return OFenceEngine(source, opts).analyze()
+
+
+@register_run_mode("incremental")
+def _run_incremental(
+    source: KernelSource, options: AnalysisOptions | None = None
+) -> AnalysisResult:
+    """Full analysis, then a ``reanalyze_file`` pass over every file."""
+    opts = _mode_options(options, workers=None, cache_dir=None)
+    engine = OFenceEngine(source, opts)
+    result = engine.analyze()
+    for path in engine.selected_files()[0]:
+        result = engine.reanalyze_file(path)
+    return result

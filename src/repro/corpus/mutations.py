@@ -63,6 +63,15 @@ class Reaction(enum.Enum):
     SILENT = "silent"
 
 
+class MutationError(AssertionError):
+    """A mutation does not apply to this source (anchor missing).
+
+    Raised instead of a bare ``assert`` so callers that sweep mutations
+    over arbitrary scenarios (the fuzzer) can skip inapplicable
+    operators without catching every ``AssertionError``.
+    """
+
+
 @dataclass(frozen=True)
 class Mutation:
     """One refactoring-shaped regression."""
@@ -73,10 +82,40 @@ class Mutation:
     #: The reaction the detector is expected to produce.
     expected: Reaction
 
+    def applicable(self, source: str) -> bool:
+        """True when the operator's anchor exists in ``source``."""
+        try:
+            apply_mutation(source, self)
+        except MutationError:
+            return False
+        return True
+
+
+def apply_mutation(source: str, mutation: Mutation) -> str:
+    """Apply ``mutation`` robustly at file boundaries.
+
+    Edge cases surfaced by the fuzzer: CRLF line endings break every
+    ``\\n``-anchored operator, and append-style operators on a source
+    missing its trailing newline produced output the parser rejected.
+    The input is normalized to LF first and the result always ends with
+    exactly one newline.  :class:`MutationError` is raised when the
+    anchor is missing or the operator changed nothing.
+    """
+    normalized = source.replace("\r\n", "\n")
+    mutated = mutation.apply(normalized)
+    if mutated == normalized:
+        raise MutationError(
+            f"mutation {mutation.name} left the source unchanged"
+        )
+    if not mutated.endswith("\n"):
+        mutated += "\n"
+    return mutated
+
 
 def _replace(old: str, new: str) -> Callable[[str], str]:
     def _apply(source: str) -> str:
-        assert old in source, f"mutation anchor missing: {old!r}"
+        if old not in source:
+            raise MutationError(f"mutation anchor missing: {old!r}")
         return source.replace(old, new, 1)
 
     return _apply

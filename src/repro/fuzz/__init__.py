@@ -1,0 +1,39 @@
+"""Fuzzing, differential, and metamorphic testing for the pipeline.
+
+Public API:
+
+* :func:`repro.fuzz.generate.generate_case` — seeded random inputs;
+* :func:`repro.fuzz.harness.run_fuzz` — the full oracle loop;
+* :func:`repro.fuzz.evaluate.evaluate` — per-checker precision/recall;
+* :func:`repro.fuzz.reduce.ddmin` — the delta-debugging core.
+"""
+
+from repro.fuzz.differential import (
+    DEFAULT_MODES,
+    check_differential,
+    run_signature,
+)
+from repro.fuzz.evaluate import CheckerScore, EvalReport, evaluate
+from repro.fuzz.generate import FuzzCase, generate_case
+from repro.fuzz.harness import FuzzFailure, FuzzReport, run_fuzz
+from repro.fuzz.metamorphic import TRANSFORMS, check_metamorphic
+from repro.fuzz.reduce import ddmin, reduce_case, write_artifact
+
+__all__ = [
+    "DEFAULT_MODES",
+    "CheckerScore",
+    "EvalReport",
+    "FuzzCase",
+    "FuzzFailure",
+    "FuzzReport",
+    "TRANSFORMS",
+    "check_differential",
+    "check_metamorphic",
+    "ddmin",
+    "evaluate",
+    "generate_case",
+    "reduce_case",
+    "run_fuzz",
+    "run_signature",
+    "write_artifact",
+]

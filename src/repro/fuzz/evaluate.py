@@ -1,0 +1,133 @@
+"""Precision/recall of each checker against planted ground truth.
+
+``evaluate`` generates controlled corpora — each case plants one known
+bug pattern plus correct-pairing background — runs the full serial
+pipeline, and attributes every ordering/unneeded finding to the checker
+that owns its deviation kind.  A finding matching a planted
+:class:`~repro.corpus.groundtruth.InjectedBug` is a true positive; one
+matching an :class:`~repro.corpus.groundtruth.ExpectedFalsePositive`
+(the Listing 4 bnx2x shape, flagged *by design*) is tallied separately;
+anything else is a false positive.  Unmatched bugs are false negatives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.checkers.model import DeviationKind
+from repro.core.engine import run_in_mode
+from repro.corpus.groundtruth import BUG_KIND_TO_DEVIATION
+from repro.fuzz.generate import generate_case
+
+#: Deviation kind -> name of the checker that reports it.
+CHECKER_OF_KIND = {
+    DeviationKind.MISPLACED_ACCESS: "misplaced",
+    DeviationKind.REPEATED_READ: "reread",
+    DeviationKind.WRONG_BARRIER_TYPE: "wrong-type",
+    DeviationKind.UNNEEDED_BARRIER: "unneeded",
+}
+
+#: Bug patterns cycled across eval cases, with the checker under test.
+_BUG_PATTERN_CYCLE = [
+    "misplaced_pair",
+    "reread_cross_pair",
+    "reread_guard_pair",
+    "wrong_type_group",
+    "seqcount_bug_group",
+    "unneeded_wakeup",
+    "unneeded_double_barrier",
+    "unneeded_atomic",
+    "bnx2x_fp_pair",
+]
+
+#: Correct background patterns mixed into every eval case.
+_BACKGROUND = ["correct_pair", "solitary_pattern"]
+
+
+@dataclass
+class CheckerScore:
+    """Aggregated confusion counts for one checker."""
+
+    checker: str
+    tp: int = 0
+    fp: int = 0
+    fn: int = 0
+    #: Findings matching by-design false positives (Listing 4).
+    expected_fp: int = 0
+
+    @property
+    def precision(self) -> float:
+        total = self.tp + self.fp
+        return self.tp / total if total else 1.0
+
+    @property
+    def recall(self) -> float:
+        total = self.tp + self.fn
+        return self.tp / total if total else 1.0
+
+
+@dataclass
+class EvalReport:
+    """Per-checker scores over the whole eval corpus."""
+
+    cases: int
+    seed: int
+    scores: dict[str, CheckerScore] = field(default_factory=dict)
+
+    def score(self, checker: str) -> CheckerScore:
+        return self.scores.setdefault(checker, CheckerScore(checker))
+
+    def render(self) -> str:
+        header = (f"{'checker':<12} {'tp':>4} {'fp':>4} {'fn':>4} "
+                  f"{'exp-fp':>6} {'precision':>10} {'recall':>8}")
+        lines = [
+            f"eval: {self.cases} cases (seed {self.seed}), "
+            "per-checker precision/recall vs planted ground truth",
+            header,
+            "-" * len(header),
+        ]
+        for name in sorted(self.scores):
+            s = self.scores[name]
+            lines.append(
+                f"{name:<12} {s.tp:>4} {s.fp:>4} {s.fn:>4} "
+                f"{s.expected_fp:>6} {s.precision:>10.2f} "
+                f"{s.recall:>8.2f}"
+            )
+        return "\n".join(lines)
+
+
+def evaluate(cases: int = 20, seed: int = 0) -> EvalReport:
+    """Score every checker over ``cases`` controlled corpora."""
+    report = EvalReport(cases=cases, seed=seed)
+    for index in range(cases):
+        bug_pattern = _BUG_PATTERN_CYCLE[index % len(_BUG_PATTERN_CYCLE)]
+        case = generate_case(
+            seed * 7_368_787 + index,
+            allow_mutants=False,
+            force_patterns=[bug_pattern] + _BACKGROUND,
+        )
+        result = run_in_mode("serial", case.source)
+        _score_case(report, result, case.truth)
+    return report
+
+
+def _score_case(report: EvalReport, result, truth) -> None:
+    remaining = list(truth.bugs)
+    findings = (result.report.ordering_findings
+                + result.report.unneeded_findings)
+    for finding in findings:
+        checker = CHECKER_OF_KIND.get(finding.kind)
+        if checker is None:
+            continue
+        matched = next((b for b in remaining if b.matches(finding)), None)
+        if matched is not None:
+            remaining.remove(matched)
+            report.score(checker).tp += 1
+            continue
+        if any(fp.matches(finding) for fp in truth.false_positives):
+            report.score(checker).expected_fp += 1
+        else:
+            report.score(checker).fp += 1
+    for bug in remaining:
+        checker = CHECKER_OF_KIND[BUG_KIND_TO_DEVIATION[bug.kind]]
+        report.score(checker).fn += 1

@@ -1,0 +1,315 @@
+"""Seeded random program generator for the fuzzing layer.
+
+``generate_case(seed)`` composes :mod:`repro.corpus.templates` fragments
+into a small multi-file kernel snippet with randomized identifiers,
+cross-file placement, preprocessor noise, and optionally mutated
+variants of :data:`repro.corpus.mutations.BASE_SCENARIO`.  The case
+carries its :class:`~repro.corpus.groundtruth.CorpusGroundTruth`, so the
+same generator feeds both the crash/differential oracles
+(:mod:`repro.fuzz.harness`) and the precision/recall evaluation
+(:mod:`repro.fuzz.evaluate`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+import re
+from dataclasses import dataclass, field
+
+from repro.core.engine import KernelSource
+from repro.corpus import templates
+from repro.corpus.groundtruth import CorpusGroundTruth
+from repro.corpus.mutations import BASE_SCENARIO, MUTATIONS, apply_mutation
+from repro.corpus.templates import PatternCode
+
+
+@dataclass
+class FuzzCase:
+    """One generated input: file chunks + ground truth + rename targets.
+
+    ``file_chunks`` keeps the per-pattern chunk structure so the
+    metamorphic transforms (reorder, comment injection) and the reducer
+    can operate at chunk granularity; :attr:`files` renders them to the
+    flat texts the engine consumes.
+    """
+
+    seed: int
+    file_chunks: dict[str, list[str]] = field(default_factory=dict)
+    headers: dict[str, str] = field(default_factory=dict)
+    truth: CorpusGroundTruth = field(default_factory=CorpusGroundTruth)
+    #: Struct/function identifiers eligible for the renaming transform.
+    identifiers: list[str] = field(default_factory=list)
+    pattern_names: list[str] = field(default_factory=list)
+    #: Files rendered without their trailing newline (boundary noise).
+    clipped_files: set[str] = field(default_factory=set)
+
+    @property
+    def files(self) -> dict[str, str]:
+        out: dict[str, str] = {}
+        for path, chunks in self.file_chunks.items():
+            text = "\n".join(chunks)
+            if path in self.clipped_files:
+                text = text.rstrip("\n")
+            out[path] = text
+        return out
+
+    @property
+    def source(self) -> KernelSource:
+        """A fresh :class:`KernelSource` (modes must not share state)."""
+        return KernelSource(files=self.files, headers=dict(self.headers))
+
+
+#: (name, weight, needs_generic_header) over the template pool.  Bug and
+#: false-positive patterns together get roughly a third of the mass.
+_PATTERN_POOL: list[tuple[str, int]] = [
+    ("correct_pair", 14),
+    ("correct_pair_cross", 6),
+    ("correct_pair_acqrel", 4),
+    ("correct_pair_fullmb", 4),
+    ("correct_pair_atomic_modifier", 3),
+    ("seqcount_group", 3),
+    ("seqcount_helper_group", 2),
+    ("rcu_pair", 3),
+    ("decoy_reader_group", 3),
+    ("unordered_noise_pair", 2),
+    ("missing_barrier_group", 2),
+    ("ipc_pattern", 4),
+    ("solitary_pattern", 4),
+    ("generic_type_pair", 3),
+    ("sweep_noise_pattern", 2),
+    ("misplaced_pair", 6),
+    ("reread_cross_pair", 4),
+    ("reread_guard_pair", 4),
+    ("wrong_type_group", 4),
+    ("seqcount_bug_group", 3),
+    ("unneeded_wakeup", 3),
+    ("unneeded_double_barrier", 2),
+    ("unneeded_atomic", 2),
+    ("bnx2x_fp_pair", 3),
+    ("mutant", 5),
+]
+
+#: Names of patterns that register no bugs/fps but are correct pairings.
+_CORRECT_PAIRING_PATTERNS = {
+    "correct_pair", "correct_pair_cross", "correct_pair_acqrel",
+    "correct_pair_fullmb", "correct_pair_atomic_modifier",
+    "seqcount_group", "seqcount_helper_group", "rcu_pair",
+    "decoy_reader_group", "missing_barrier_group",
+}
+
+#: BASE_SCENARIO identifiers the mutant emitter suffixes with the uid.
+_MUTANT_NAMES = ("fill_mbox", "refill_mbox", "drain_mbox", "peek_mbox",
+                 "mbox")
+
+
+def _emit(name: str, uid: str, rng: random.Random) -> list[PatternCode]:
+    """Instantiate one pool entry; tuple-emitters yield two patterns."""
+    if name == "correct_pair":
+        return [templates.correct_pair(
+            uid, rng,
+            writer_pad=rng.randint(0, 3),
+            reader_flag_pad=rng.randint(0, 2),
+            reader_payload_pad=rng.randint(0, 8),
+            commented=rng.random() < 0.2,
+        )]
+    if name == "correct_pair_cross":
+        return [templates.correct_pair(uid, rng, cross_file=True)]
+    if name == "decoy_reader_group":
+        return list(templates.decoy_reader_group(uid, rng))
+    if name == "unordered_noise_pair":
+        return list(templates.unordered_noise_pair(uid, rng))
+    if name == "generic_type_pair":
+        return [templates.generic_type_pair(
+            uid, rng,
+            type_index=rng.randrange(len(templates.GENERIC_TYPES)),
+        )]
+    if name == "sweep_noise_pattern":
+        return [templates.sweep_noise_pattern(
+            uid, rng, family=rng.randint(0, 3)
+        )]
+    if name == "mutant":
+        return [_mutant_pattern(uid, rng)]
+    return [getattr(templates, name)(uid, rng)]
+
+
+def _mutant_pattern(uid: str, rng: random.Random) -> PatternCode:
+    """A mutated BASE_SCENARIO with uid-suffixed identifiers.
+
+    The mutation is applied *first* (its anchors reference the original
+    names), then every scenario identifier gets the uid suffix so
+    multiple mutants coexist in one case.  Mutants carry no ground
+    truth: they feed the crash/differential oracles, not the eval.
+    """
+    mutation = rng.choice(MUTATIONS)
+    mutated = apply_mutation(BASE_SCENARIO, mutation)
+    alternation = "|".join(sorted(_MUTANT_NAMES, key=len, reverse=True))
+    renamed = re.sub(
+        rf"\b({alternation})\b", lambda m: f"{m.group(1)}_{uid}", mutated
+    )
+    functions = [f"{fn}_{uid}" for fn in _MUTANT_NAMES if fn != "mbox"
+                 and f"{fn}_{uid}" in renamed]
+    return PatternCode(
+        pattern_id=f"{uid}:{mutation.name}",
+        chunks=[renamed],
+        functions=functions,
+    )
+
+
+def _kernel_types_header() -> str:
+    lines = ["/* Generic kernel container types. */"]
+    for struct, f1, f2 in templates.GENERIC_TYPES:
+        lines += [
+            f"struct {struct} {{",
+            f"\tstruct {struct} *{f1};",
+            f"\tstruct {struct} *{f2};",
+            "};",
+        ]
+    return "\n".join(lines) + "\n"
+
+
+class _CaseBuilder:
+    def __init__(self, seed: int, max_files: int, rng: random.Random):
+        self.rng = rng
+        self.case = FuzzCase(seed=seed)
+        n_files = rng.randint(1, max(1, max_files))
+        self.paths = [f"fuzz/unit_{i}.c" for i in range(n_files)]
+        for path in self.paths:
+            self.case.file_chunks[path] = []
+
+    def place(self, pattern: PatternCode) -> None:
+        case, rng = self.case, self.rng
+        if len(pattern.chunks) == 1 or len(self.paths) == 1:
+            paths = [rng.choice(self.paths)] * len(pattern.chunks)
+        else:
+            paths = rng.sample(self.paths, 2)
+        if pattern.header_code:
+            case.headers["fuzz_types.h"] = (
+                case.headers.get("fuzz_types.h", "") + pattern.header_code
+            )
+            for path in paths:
+                self._ensure_include(path, "fuzz_types.h")
+        if pattern.is_generic and any(
+            f"struct {struct}" in chunk
+            for struct, _, _ in templates.GENERIC_TYPES
+            for chunk in pattern.chunks
+        ):
+            # generic_type_pair references container structs it does not
+            # define; they live in the shared kernel_types.h header.
+            for path in paths:
+                self._ensure_include(path, "kernel_types.h")
+        for chunk, path in zip(pattern.chunks, paths):
+            case.file_chunks[path].append(chunk)
+        self._register(pattern, paths)
+
+    def _ensure_include(self, path: str, header: str) -> None:
+        directive = f'#include "{header}"\n'
+        chunks = self.case.file_chunks[path]
+        if directive not in chunks:
+            chunks.insert(0, directive)
+
+    def _register(self, pattern: PatternCode, paths: list[str]) -> None:
+        truth = self.case.truth
+        for bug in pattern.bugs:
+            truth.bugs.append(dataclasses.replace(
+                bug, filename=self._chunk_file(bug.function, pattern, paths)
+            ))
+        for fp in pattern.fps:
+            truth.false_positives.append(dataclasses.replace(
+                fp, filename=self._chunk_file(fp.function, pattern, paths)
+            ))
+        if pattern.is_generic:
+            for index, fn in enumerate(pattern.functions):
+                sub_id = f"{pattern.pattern_id}#{index}"
+                truth.function_pattern[fn] = sub_id
+                truth.generic_patterns.add(sub_id)
+        else:
+            for fn in pattern.functions:
+                truth.function_pattern[fn] = pattern.pattern_id
+        truth.expected_unneeded += pattern.unneeded
+
+    @staticmethod
+    def _chunk_file(function: str, pattern: PatternCode,
+                    paths: list[str]) -> str:
+        for chunk, path in zip(pattern.chunks, paths):
+            if function in chunk:
+                return path
+        return paths[0]
+
+    def add_noise(self) -> None:
+        """Preprocessor/comment/whitespace noise that must be inert."""
+        rng = self.rng
+        for index, path in enumerate(self.paths):
+            chunks = self.case.file_chunks[path]
+            if rng.random() < 0.4:
+                chunks.insert(0, f"#define FZ_PAD_{index} "
+                                 f"{rng.randint(1, 9)}\n")
+            if rng.random() < 0.3:
+                chunks.append(
+                    "#ifdef CONFIG_FUZZ_OFF\n"
+                    f"static void fz_disabled_{index}(void)\n"
+                    "{\n\tcpu_relax();\n}\n"
+                    "#endif\n"
+                )
+            if rng.random() < 0.4:
+                spot = rng.randint(0, len(chunks))
+                chunks.insert(spot, f"/* fuzz filler {index} */\n")
+            if rng.random() < 0.15 and not chunks[-1].startswith("#"):
+                self.case.clipped_files.add(path)
+
+    def collect_identifiers(self, uids: list[str]) -> None:
+        texts = list(self.case.files.values()) + \
+            list(self.case.headers.values())
+        found: set[str] = set()
+        for uid in uids:
+            pattern = re.compile(rf"\b\w*{re.escape(uid)}\w*\b")
+            for text in texts:
+                found.update(pattern.findall(text))
+        self.case.identifiers = sorted(found)
+
+
+def generate_case(
+    seed: int,
+    max_files: int = 3,
+    allow_mutants: bool = True,
+    force_patterns: list[str] | None = None,
+) -> FuzzCase:
+    """Generate one deterministic fuzz input from ``seed``.
+
+    ``force_patterns`` fixes the exact pattern list (used by the eval
+    CLI for controlled precision/recall corpora); otherwise 2-6 weighted
+    random pool entries are drawn.  ``allow_mutants=False`` removes the
+    mutated-scenario emitter (mutants carry no ground truth and would
+    pollute a precision measurement).
+    """
+    rng = random.Random(seed)
+    builder = _CaseBuilder(seed, max_files, rng)
+
+    if force_patterns is not None:
+        chosen = list(force_patterns)
+    else:
+        pool = [(name, weight) for name, weight in _PATTERN_POOL
+                if allow_mutants or name != "mutant"]
+        names = [name for name, _ in pool]
+        weights = [weight for _, weight in pool]
+        chosen = rng.choices(names, weights=weights, k=rng.randint(2, 6))
+
+    uids = []
+    for index, name in enumerate(chosen):
+        uid = f"fz{index}q{rng.randint(10, 99)}"
+        uids.append(uid)
+        for pattern in _emit(name, uid, rng):
+            builder.place(pattern)
+        if name in _CORRECT_PAIRING_PATTERNS:
+            builder.case.truth.expected_correct_pairs += 1
+        builder.case.pattern_names.append(name)
+
+    if "kernel_types.h" in "".join(
+        chunk for chunks in builder.case.file_chunks.values()
+        for chunk in chunks
+    ):
+        builder.case.headers["kernel_types.h"] = _kernel_types_header()
+
+    builder.add_noise()
+    builder.collect_identifiers(uids)
+    return builder.case

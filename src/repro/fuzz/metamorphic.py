@@ -1,0 +1,207 @@
+"""Metamorphic oracle: semantics-preserving transforms.
+
+Each transform rewrites a :class:`~repro.fuzz.generate.FuzzCase` without
+changing its concurrency semantics — identifier renaming, comment and
+whitespace injection, reordering of independent top-level chunks, and
+``#define`` indirection.  The oracle analyzes original and transformed
+case and asserts the findings are *isomorphic*: identical multisets
+after renaming back and discarding line numbers.
+
+Annotation proposals are excluded from the comparison — they are
+advisory output whose text can legitimately shift with comments — as
+are line numbers, which every transform perturbs by design.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.core.engine import AnalysisResult, KernelSource, run_in_mode
+from repro.fuzz.generate import FuzzCase
+
+
+@dataclass
+class TransformedCase:
+    """The rewritten sources plus the inverse rename map."""
+
+    name: str
+    files: dict[str, str]
+    headers: dict[str, str]
+    #: new identifier -> original identifier ("" map = no renaming).
+    rename_back: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def source(self) -> KernelSource:
+        return KernelSource(files=dict(self.files),
+                            headers=dict(self.headers))
+
+
+# ---------------------------------------------------------------------------
+# Transforms
+# ---------------------------------------------------------------------------
+
+
+def transform_rename(case: FuzzCase,
+                     rng: random.Random) -> TransformedCase:
+    """Consistently rename every case-local struct/function identifier."""
+    mapping = {old: f"rn{index}_{old}"
+               for index, old in enumerate(case.identifiers)}
+    if not mapping:
+        return TransformedCase("rename", dict(case.files),
+                               dict(case.headers))
+    alternation = "|".join(
+        re.escape(name) for name in
+        sorted(mapping, key=len, reverse=True)
+    )
+    pattern = re.compile(rf"\b({alternation})\b")
+
+    def rewrite(text: str) -> str:
+        return pattern.sub(lambda m: mapping[m.group(1)], text)
+
+    return TransformedCase(
+        "rename",
+        {path: rewrite(text) for path, text in case.files.items()},
+        {name: rewrite(text) for name, text in case.headers.items()},
+        rename_back={new: old for old, new in mapping.items()},
+    )
+
+
+def transform_comments(case: FuzzCase,
+                       rng: random.Random) -> TransformedCase:
+    """Inject comments and blank lines between and inside chunks."""
+    files: dict[str, str] = {}
+    for path, chunks in case.file_chunks.items():
+        out: list[str] = []
+        for index, chunk in enumerate(chunks):
+            if not chunk.startswith("#") and rng.random() < 0.7:
+                out.append(f"/* fz nop {index} */\n")
+            if chunk.startswith("#"):
+                out.append(chunk)
+                continue
+            lines: list[str] = []
+            for line in chunk.split("\n"):
+                lines.append(line)
+                if line.endswith("{") and rng.random() < 0.3:
+                    lines.append("\t/* fz body note */")
+                elif line.endswith(";") and rng.random() < 0.15:
+                    lines.append("")
+            out.append("\n".join(lines))
+        files[path] = "\n".join(out)
+    return TransformedCase("comments", files, dict(case.headers))
+
+
+def transform_reorder(case: FuzzCase,
+                      rng: random.Random) -> TransformedCase:
+    """Shuffle independent top-level chunks within each file.
+
+    Preprocessor chunks (``#include``/``#define``) are pinned at the
+    front in their original order; every definition is self-contained,
+    so any permutation of the remaining chunks is equivalent.
+    """
+    files: dict[str, str] = {}
+    for path, chunks in case.file_chunks.items():
+        pinned = [c for c in chunks if c.startswith("#")]
+        movable = [c for c in chunks if not c.startswith("#")]
+        rng.shuffle(movable)
+        files[path] = "\n".join(pinned + movable)
+    return TransformedCase("reorder", files, dict(case.headers))
+
+
+def transform_defines(case: FuzzCase,
+                      rng: random.Random) -> TransformedCase:
+    """Route integer literals through an object-like ``#define``."""
+    files: dict[str, str] = {}
+    for path, text in case.files.items():
+        rewritten = text.replace("= 1;", "= FZ_ONE;")
+        if rewritten != text:
+            rewritten = "#define FZ_ONE 1\n\n" + rewritten
+        files[path] = rewritten
+    return TransformedCase("defines", files, dict(case.headers))
+
+
+TRANSFORMS = {
+    "rename": transform_rename,
+    "comments": transform_comments,
+    "reorder": transform_reorder,
+    "defines": transform_defines,
+}
+
+
+# ---------------------------------------------------------------------------
+# Isomorphism check
+# ---------------------------------------------------------------------------
+
+
+def normalized_findings(result: AnalysisResult,
+                        back: dict[str, str]) -> Counter:
+    """Line-independent multiset of ordering + unneeded findings."""
+    counter: Counter = Counter()
+    findings = (result.report.ordering_findings
+                + result.report.unneeded_findings)
+    for f in findings:
+        fld = f.object_key.field if f.object_key is not None else ""
+        counter[(f.kind.value, f.filename,
+                 back.get(f.function, f.function), fld)] += 1
+    return counter
+
+
+def normalized_pairings(result: AnalysisResult,
+                        back: dict[str, str]) -> Counter:
+    """Multiset of pairing shapes (file, function, primitive) sets."""
+    counter: Counter = Counter()
+    for pairing in result.pairing.pairings:
+        shape = frozenset(
+            (b.filename, back.get(b.function, b.function), b.primitive)
+            for b in pairing.barriers
+        )
+        counter[shape] += 1
+    return counter
+
+
+def _describe_diff(label: str, base: Counter, other: Counter) -> str:
+    missing = base - other
+    extra = other - base
+    parts = []
+    if missing:
+        parts.append(f"lost {sorted(map(str, missing))[:3]}")
+    if extra:
+        parts.append(f"gained {sorted(map(str, extra))[:3]}")
+    return f"{label}: " + "; ".join(parts)
+
+
+def check_metamorphic(
+    case: FuzzCase,
+    rng: random.Random,
+    transforms: list[str] | None = None,
+) -> list[str]:
+    """Run every transform; return divergence descriptions (empty = ok)."""
+    names = transforms if transforms is not None else list(TRANSFORMS)
+    base = run_in_mode("serial", case.source)
+    base_findings = normalized_findings(base, {})
+    base_pairings = normalized_pairings(base, {})
+
+    problems: list[str] = []
+    for name in names:
+        transformed = TRANSFORMS[name](case, rng)
+        try:
+            result = run_in_mode("serial", transformed.source)
+        except Exception as exc:
+            problems.append(
+                f"{name}: analysis raised {type(exc).__name__}: {exc}"
+            )
+            continue
+        back = transformed.rename_back
+        if normalized_findings(result, back) != base_findings:
+            problems.append(_describe_diff(
+                f"{name}/findings", base_findings,
+                normalized_findings(result, back),
+            ))
+        if normalized_pairings(result, back) != base_pairings:
+            problems.append(_describe_diff(
+                f"{name}/pairings", base_pairings,
+                normalized_pairings(result, back),
+            ))
+    return problems

@@ -1,0 +1,132 @@
+"""Delta-debugging reducer for failing fuzz inputs.
+
+Classic ``ddmin`` (Zeller/Hildebrandt) specialised to the fuzzer's case
+structure: a failing input is first reduced at *chunk* granularity
+(whole pattern fragments are dropped while the failure persists), then
+at *line* granularity within each surviving file.  The result is
+written to ``fuzz/artifacts/<name>/`` together with a ``repro.json``
+describing the failure and how to replay it.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Callable
+
+#: A predicate over candidate file chunks: True = "still fails".
+ChunkPredicate = Callable[[dict[str, list[str]]], bool]
+
+
+def ddmin(items: list, test: Callable[[list], bool]) -> list:
+    """Minimise ``items`` such that ``test`` still holds.
+
+    ``test(items)`` must be True on entry; the returned list is
+    1-minimal (removing any single element makes the failure vanish).
+    """
+    if not test(items):
+        raise ValueError("ddmin precondition: test must fail on input")
+    items = list(items)
+    granularity = 2
+    while len(items) >= 2:
+        subset_len = max(1, len(items) // granularity)
+        reduced = False
+        for start in range(0, len(items), subset_len):
+            complement = items[:start] + items[start + subset_len:]
+            if complement and test(complement):
+                items = complement
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                break
+        if not reduced:
+            if granularity >= len(items):
+                break
+            granularity = min(len(items), granularity * 2)
+    return items
+
+
+def _build_chunks(
+    items: list[tuple[str, int]], all_chunks: dict[str, list[str]]
+) -> dict[str, list[str]]:
+    """File chunks containing only the selected (path, index) items."""
+    selected: dict[str, list[str]] = {}
+    for path, index in items:
+        selected.setdefault(path, []).append(all_chunks[path][index])
+    return selected
+
+
+def reduce_chunks(
+    file_chunks: dict[str, list[str]],
+    predicate: ChunkPredicate,
+) -> dict[str, list[str]]:
+    """Drop whole chunks (and thereby files) while the failure persists."""
+    items = [
+        (path, index)
+        for path in sorted(file_chunks)
+        for index in range(len(file_chunks[path]))
+    ]
+    kept = ddmin(items, lambda sub: predicate(_build_chunks(sub,
+                                                            file_chunks)))
+    return _build_chunks(kept, file_chunks)
+
+
+def reduce_lines(
+    file_chunks: dict[str, list[str]],
+    predicate: ChunkPredicate,
+) -> dict[str, list[str]]:
+    """Line-level pass: each file collapses to one minimised chunk."""
+    current = {path: ["\n".join(chunks)]
+               for path, chunks in file_chunks.items()}
+    for path in sorted(current):
+        lines = current[path][0].split("\n")
+        if len(lines) < 2:
+            continue
+
+        def test(sub_lines: list[str], path=path) -> bool:
+            candidate = dict(current)
+            candidate[path] = ["\n".join(sub_lines)]
+            return predicate(candidate)
+
+        try:
+            kept = ddmin(lines, test)
+        except ValueError:
+            continue  # joining chunks alone changed the outcome; skip
+        current[path] = ["\n".join(kept)]
+    return current
+
+
+def reduce_case(
+    file_chunks: dict[str, list[str]],
+    predicate: ChunkPredicate,
+    line_level: bool = True,
+) -> dict[str, list[str]]:
+    """Full staged reduction: chunks first, then lines."""
+    reduced = reduce_chunks(file_chunks, predicate)
+    if line_level:
+        reduced = reduce_lines(reduced, predicate)
+    return reduced
+
+
+def write_artifact(
+    artifacts_dir: str | Path,
+    name: str,
+    file_chunks: dict[str, list[str]],
+    headers: dict[str, str],
+    meta: dict,
+) -> str:
+    """Persist a (reduced) reproducer; returns the artifact directory."""
+    target = Path(artifacts_dir) / name
+    target.mkdir(parents=True, exist_ok=True)
+    manifest: dict[str, str] = {}
+    for path, chunks in file_chunks.items():
+        mangled = path.replace("/", "__")
+        (target / mangled).write_text("\n".join(chunks))
+        manifest[path] = mangled
+    for header, text in headers.items():
+        mangled = "header__" + header.replace("/", "__")
+        (target / mangled).write_text(text)
+        manifest[f"include/{header}"] = mangled
+    (target / "repro.json").write_text(json.dumps(
+        {**meta, "manifest": manifest}, indent=2, sort_keys=True
+    ) + "\n")
+    return str(target)

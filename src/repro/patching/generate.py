@@ -50,11 +50,20 @@ class PatchGenerator:
     def __init__(self, file_sources: dict[str, str], cfg_lookup=None):
         self._sources = file_sources
         self._cfg_lookup = cfg_lookup
+        #: (finding_id, error) pairs for findings whose patch generation
+        #: raised — surfaced instead of aborting the run (never-raise).
+        self.failures: list[tuple[str, str]] = []
 
     def generate_all(self, findings: list[Finding]) -> list[Patch]:
         patches = []
         for finding in findings:
-            patch = self.generate(finding)
+            try:
+                patch = self.generate(finding)
+            except Exception as exc:
+                self.failures.append(
+                    (finding.finding_id, f"{type(exc).__name__}: {exc}")
+                )
+                continue
             if patch is not None:
                 patches.append(patch)
         return patches

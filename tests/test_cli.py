@@ -121,6 +121,33 @@ class TestPerformanceFlags:
         assert "Stage profile" in out
 
 
+class TestFuzzCommands:
+    def test_fuzz_small_run_exits_zero(self, tmp_path, capsys):
+        code = main([
+            "fuzz", "--iterations", "3", "--seed", "0",
+            "--artifacts", str(tmp_path / "artifacts"),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "3 iterations, 0 crashes" in out
+
+    def test_fuzz_mode_subset(self, tmp_path, capsys):
+        code = main([
+            "fuzz", "--iterations", "2", "--seed", "1",
+            "--modes", "parallel", "--no-reduce",
+            "--artifacts", str(tmp_path / "artifacts"),
+        ])
+        assert code == 0
+        assert "2 iterations" in capsys.readouterr().out
+
+    def test_eval_prints_per_checker_table(self, capsys):
+        assert main(["eval", "--cases", "9", "--seed", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "precision" in out and "recall" in out
+        for checker in ("misplaced", "reread", "wrong-type", "unneeded"):
+            assert checker in out
+
+
 class TestArgumentErrors:
     def test_missing_subcommand_exits(self):
         with pytest.raises(SystemExit):

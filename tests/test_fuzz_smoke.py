@@ -1,0 +1,56 @@
+"""50-iteration seeded fuzz run: the acceptance gate for the fuzzing
+layer.
+
+Deterministic by construction (fixed base seed, per-iteration seeds
+derived by a fixed stride, transform RNGs seeded from the case seed), so
+a failure here is reproducible with ``repro fuzz --seed 0`` and comes
+with a minimized artifact.
+"""
+
+import pytest
+
+from repro.fuzz import generate_case, run_fuzz
+
+
+@pytest.fixture(scope="module")
+def smoke_report(tmp_path_factory):
+    artifacts = tmp_path_factory.mktemp("fuzz-artifacts")
+    return run_fuzz(iterations=50, seed=0, artifacts_dir=str(artifacts))
+
+
+class TestFuzzSmoke:
+    def test_zero_crashes(self, smoke_report):
+        crashes = [f.describe() for f in smoke_report.failures
+                   if f.oracle == "crash"]
+        assert not crashes, crashes
+
+    def test_zero_differential_divergences(self, smoke_report):
+        divs = [f.describe() for f in smoke_report.failures
+                if f.oracle == "differential"]
+        assert not divs, divs
+
+    def test_zero_metamorphic_failures(self, smoke_report):
+        mets = [f.describe() for f in smoke_report.failures
+                if f.oracle == "metamorphic"]
+        assert not mets, mets
+
+    def test_report_shape(self, smoke_report):
+        assert smoke_report.iterations == 50
+        assert smoke_report.ok
+        assert "50 iterations" in smoke_report.render()
+
+
+class TestDeterminism:
+    def test_same_seed_same_case(self):
+        a = generate_case(1234)
+        b = generate_case(1234)
+        assert a.files == b.files
+        assert a.headers == b.headers
+        assert a.identifiers == b.identifiers
+        assert [bug.bug_id for bug in a.truth.bugs] == \
+            [bug.bug_id for bug in b.truth.bugs]
+
+    def test_different_seeds_differ(self):
+        # Not guaranteed for every pair, but these two must differ or
+        # the seed is being ignored.
+        assert generate_case(1).files != generate_case(2).files

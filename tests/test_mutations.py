@@ -7,7 +7,9 @@ from repro.corpus.mutations import (
     BASE_SCENARIO,
     MUTATIONS,
     Mutation,
+    MutationError,
     Reaction,
+    apply_mutation,
     classify_reaction,
     run_mutation_harness,
 )
@@ -50,6 +52,55 @@ class TestMutationOperators:
         )
         with pytest.raises(AssertionError):
             broken.apply(BASE_SCENARIO)
+
+
+class TestApplyMutation:
+    """File-boundary edge cases surfaced by the fuzzer."""
+
+    def test_missing_anchor_raises_mutation_error(self):
+        # benign-extra-reader is append-style: it has no anchor and
+        # legitimately applies to any source, so it is exempt here.
+        for mutation in MUTATIONS:
+            if mutation.name == "benign-extra-reader":
+                continue
+            with pytest.raises(MutationError):
+                apply_mutation("int unrelated;\n", mutation)
+
+    def test_crlf_input_normalized_before_anchoring(self):
+        # Every operator anchors on \n-separated statements; CRLF input
+        # used to miss every anchor and fall through to a bare assert.
+        crlf = BASE_SCENARIO.replace("\n", "\r\n")
+        for mutation in MUTATIONS:
+            mutated = apply_mutation(crlf, mutation)
+            assert "\r" not in mutated, mutation.name
+
+    def test_result_always_has_trailing_newline(self):
+        # The append-style operator on a clipped file produced output
+        # whose last line ran into nothing; the parser choked on it.
+        clipped = BASE_SCENARIO.rstrip("\n")
+        for mutation in MUTATIONS:
+            mutated = apply_mutation(clipped, mutation)
+            assert mutated.endswith("\n"), mutation.name
+
+    def test_mutated_boundary_sources_still_parse(self):
+        from repro.cparse.parser import parse_source
+
+        clipped = BASE_SCENARIO.rstrip("\n")
+        for mutation in MUTATIONS:
+            parse_source(apply_mutation(clipped, mutation), "m.c")
+
+    def test_noop_mutation_raises(self):
+        noop = Mutation(name="noop", description="x",
+                        apply=lambda s: s, expected=Reaction.SILENT)
+        with pytest.raises(MutationError):
+            apply_mutation(BASE_SCENARIO, noop)
+
+    def test_applicable(self):
+        for mutation in MUTATIONS:
+            assert mutation.applicable(BASE_SCENARIO), mutation.name
+            if mutation.name != "benign-extra-reader":  # append-style
+                assert not mutation.applicable("int unrelated;\n"), \
+                    mutation.name
 
 
 class TestHarness:

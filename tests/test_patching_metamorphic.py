@@ -1,0 +1,102 @@
+"""Metamorphic properties of the patching layer.
+
+Two properties per buggy template:
+
+* **Applies cleanly** — a generated patch's ``new_source`` parses and,
+  when re-analyzed, no longer exhibits the patched finding (the fix
+  actually fixes).
+* **Rename round-trip** — patch generation commutes with identifier
+  renaming: renaming the source and patching must equal patching the
+  source and renaming the patch.  Barrier analysis is structural, so a
+  patch must never depend on what things are called.
+"""
+
+import random
+import re
+
+import pytest
+
+from repro.api import analyze_source
+from repro.corpus import templates
+
+#: (pattern name, uid) -> single-finding buggy templates under test.
+_BUGGY_PATTERNS = [
+    "misplaced_pair",
+    "reread_cross_pair",
+    "reread_guard_pair",
+    "wrong_type_group",
+    "unneeded_wakeup",
+    "unneeded_double_barrier",
+    "unneeded_atomic",
+]
+
+
+def _emit(name: str) -> templates.PatternCode:
+    return getattr(templates, name)(f"pm{name[:4]}", random.Random(7))
+
+
+def _rename_map(uid: str, source: str) -> dict[str, str]:
+    """uid-bearing identifiers -> prefixed fresh names."""
+    names = set(re.findall(rf"\b\w*{re.escape(uid)}\w*\b", source))
+    return {old: f"zz_{old}" for old in sorted(names)}
+
+
+def _rename(text: str, mapping: dict[str, str]) -> str:
+    if not mapping:
+        return text
+    alternation = "|".join(re.escape(n)
+                           for n in sorted(mapping, key=len, reverse=True))
+    return re.sub(rf"\b({alternation})\b",
+                  lambda m: mapping[m.group(1)], text)
+
+
+@pytest.mark.parametrize("pattern_name", _BUGGY_PATTERNS)
+class TestPatchesApplyCleanly:
+    def test_patch_parses_and_fixes(self, pattern_name):
+        from repro.cparse.parser import parse_source
+
+        pattern = _emit(pattern_name)
+        analysis = analyze_source(pattern.code, filename="t.c",
+                                  annotate=False)
+        applied = [p for p in analysis.patches if p.applied]
+        assert applied, f"{pattern_name}: no applied patch generated"
+        for patch in applied:
+            assert patch.new_source is not None
+            assert patch.diff.startswith("---")
+            parse_source(patch.new_source, "t.c")
+            fixed = analyze_source(patch.new_source, filename="t.c",
+                                   annotate=False)
+            still_there = [
+                f for f in (fixed.findings + fixed.unneeded_barriers)
+                if f.kind is patch.finding.kind
+                and f.function == patch.finding.function
+            ]
+            assert not still_there, (
+                f"{pattern_name}: patch left the finding in place"
+            )
+
+
+@pytest.mark.parametrize("pattern_name", _BUGGY_PATTERNS)
+class TestRenameRoundTrip:
+    def test_patching_commutes_with_renaming(self, pattern_name):
+        pattern = _emit(pattern_name)
+        uid = pattern.pattern_id
+        mapping = _rename_map(uid, pattern.code)
+        assert mapping, "template must carry uid-bearing identifiers"
+
+        original = analyze_source(pattern.code, filename="t.c",
+                                  annotate=False)
+        renamed = analyze_source(_rename(pattern.code, mapping),
+                                 filename="t.c", annotate=False)
+
+        orig_patches = [p for p in original.patches if p.applied]
+        ren_patches = [p for p in renamed.patches if p.applied]
+        assert len(orig_patches) == len(ren_patches)
+
+        def key(patch):
+            return (patch.finding.kind.value, patch.finding.line)
+
+        for orig, ren in zip(sorted(orig_patches, key=key),
+                             sorted(ren_patches, key=key)):
+            assert _rename(orig.new_source, mapping) == ren.new_source
+            assert _rename(orig.diff, mapping) == ren.diff

@@ -110,3 +110,112 @@ class TestModeParity:
         path = corpus.source.files_with_barriers()[-1]
         again = engine.reanalyze_file(path)
         assert signature(again) == serial_signature
+
+
+def _copy_source(corpus):
+    from repro.core.engine import KernelSource
+
+    return KernelSource(
+        files=dict(corpus.source.files),
+        headers=dict(corpus.source.headers),
+        file_options=dict(corpus.source.file_options),
+    )
+
+
+class TestIncrementalBarrierRemoval:
+    """Deletion deltas: ``reanalyze_file`` after a mutation that
+    *removes* barriers must equal a fresh analysis of the edited tree.
+    The PairingIndex has to retract the removed sites (and any pairings
+    built on them), not just add new ones."""
+
+    def _barrier_file(self, corpus, primitive="smp_wmb();"):
+        # Only config-enabled files matter; gated files never reach the
+        # pipeline, so editing one would trivially change nothing.
+        analyzed, _ = OFenceEngine(corpus.source).selected_files()
+        for path in analyzed:
+            if primitive in corpus.source.files[path]:
+                return path
+        pytest.skip(f"corpus has no analyzed file with {primitive}")
+
+    def test_single_barrier_removed(self, corpus):
+        path = self._barrier_file(corpus)
+        original = corpus.source.files[path]
+        lines = original.split("\n")
+        hit = next(i for i, line in enumerate(lines)
+                   if line.strip() == "smp_wmb();")
+        edited = "\n".join(lines[:hit] + lines[hit + 1:])
+
+        inc_engine = OFenceEngine(_copy_source(corpus))
+        before = inc_engine.analyze()
+        incremental = inc_engine.reanalyze_file(path, edited)
+
+        fresh_source = _copy_source(corpus)
+        fresh_source.files[path] = edited
+        fresh = OFenceEngine(fresh_source).analyze()
+
+        assert signature(incremental) == signature(fresh)
+        assert len(incremental.sites) == len(before.sites) - 1
+
+    def test_all_barriers_removed_drops_file_from_index(self, corpus):
+        import re
+
+        path = self._barrier_file(corpus)
+        # Strip every barrier-bearing line: the file leaves the
+        # selected set entirely (raw-text pre-filter finds nothing).
+        barrier_re = re.compile(
+            r"smp_[a-z_]*mb\w*|smp_store_release|smp_load_acquire"
+            r"|smp_store_mb|rcu_assign_pointer|rcu_dereference"
+            r"|seqcount|atomic_"
+        )
+        edited = "\n".join(
+            line for line in corpus.source.files[path].split("\n")
+            if not barrier_re.search(line)
+        )
+
+        inc_engine = OFenceEngine(_copy_source(corpus))
+        inc_engine.analyze()
+        incremental = inc_engine.reanalyze_file(path, edited)
+
+        fresh_source = _copy_source(corpus)
+        fresh_source.files[path] = edited
+        fresh = OFenceEngine(fresh_source).analyze()
+
+        assert signature(incremental) == signature(fresh)
+        assert all(site.filename != path for site in incremental.sites)
+        assert all(
+            barrier.filename != path
+            for pairing in incremental.pairing.pairings
+            for barrier in pairing.barriers
+        )
+
+    def test_removed_barrier_retracts_its_pairings(self, corpus):
+        """The writer side of a pairing disappears; pairings touching
+        the file must be recomputed, not left stale."""
+        inc_engine = OFenceEngine(_copy_source(corpus))
+        before = inc_engine.analyze()
+        # Pick the file straight out of an existing pairing, so the
+        # precondition (its smp_wmb participates) holds by construction.
+        path = next(
+            b.filename
+            for p in before.pairing.pairings
+            for b in p.barriers
+            if b.primitive == "smp_wmb"
+        )
+        original = corpus.source.files[path]
+        edited = original.replace("smp_wmb();", "cpu_relax();")
+
+        stale = [
+            p.describe() for p in before.pairing.pairings
+            if any(b.filename == path and b.primitive == "smp_wmb"
+                   for b in p.barriers)
+        ]
+        assert stale, "precondition: the file participates in a pairing"
+
+        incremental = inc_engine.reanalyze_file(path, edited)
+        fresh_source = _copy_source(corpus)
+        fresh_source.files[path] = edited
+        fresh = OFenceEngine(fresh_source).analyze()
+
+        assert signature(incremental) == signature(fresh)
+        remaining = {p.describe() for p in incremental.pairing.pairings}
+        assert not (set(stale) & remaining)
