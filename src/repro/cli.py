@@ -95,6 +95,9 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     fuzz.add_argument("--iterations", type=int, default=50)
     fuzz.add_argument("--seed", type=int, default=0)
+    fuzz.add_argument("--case-seed", type=int, default=None,
+                      help="raw per-case seed (bypasses the seed "
+                           "stride; used by repro.json replay lines)")
     fuzz.add_argument("--artifacts", type=Path,
                       default=Path("fuzz/artifacts"),
                       help="directory for minimized reproducers")
@@ -241,6 +244,7 @@ def cmd_fuzz(args) -> int:
         reduce=not args.no_reduce,
         modes=modes,
         max_files=args.max_files,
+        case_seed=args.case_seed,
     )
     print(report.render())
     return 0 if report.ok else 1

@@ -254,7 +254,8 @@ class _CaseBuilder:
             if rng.random() < 0.4:
                 spot = rng.randint(0, len(chunks))
                 chunks.insert(spot, f"/* fuzz filler {index} */\n")
-            if rng.random() < 0.15 and not chunks[-1].startswith("#"):
+            if rng.random() < 0.15 and chunks \
+                    and not chunks[-1].startswith("#"):
                 self.case.clipped_files.add(path)
 
     def collect_identifiers(self, uids: list[str]) -> None:

@@ -91,10 +91,17 @@ def crash_detail(files: dict[str, str],
         result = run_in_mode("serial", source)
     except Exception as exc:
         return f"analysis raised {type(exc).__name__}: {exc}"
+    parse_detail: str | None = None
     for entry in result.files_failed:
         if entry.stage != "parse":
+            # Internal-stage failures are the serious signal; report one
+            # even when an earlier file merely failed to parse.
             return f"internal error in {entry.path}: {entry.error}"
-        return f"generated code failed to parse: {entry.describe()}"
+        if parse_detail is None:
+            parse_detail = \
+                f"generated code failed to parse: {entry.describe()}"
+    if parse_detail is not None:
+        return parse_detail
     if result.report.checker_failures:
         return result.report.checker_failures[0].describe()
     return None
@@ -113,13 +120,22 @@ def run_fuzz(
     modes: tuple[str, ...] = DEFAULT_MODES,
     transforms: list[str] | None = None,
     max_files: int = 3,
+    case_seed: int | None = None,
 ) -> FuzzReport:
-    """Run the seeded fuzzing loop; deterministic for a given ``seed``."""
+    """Run the seeded fuzzing loop; deterministic for a given ``seed``.
+
+    ``case_seed`` bypasses the stride: iteration ``i`` uses the raw
+    seed ``case_seed + i``, so ``case_seed=S, iterations=1`` replays
+    exactly the case an artifact's ``repro.json`` names.
+    """
     report = FuzzReport(iterations=iterations)
     for iteration in range(iterations):
-        case_seed = seed * _SEED_STRIDE + iteration
-        case = generate_case(case_seed, max_files=max_files)
-        failure = _check_one(case, iteration, case_seed, modes,
+        if case_seed is not None:
+            cs = case_seed + iteration
+        else:
+            cs = seed * _SEED_STRIDE + iteration
+        case = generate_case(cs, max_files=max_files)
+        failure = _check_one(case, iteration, cs, modes,
                              transforms, artifacts_dir, reduce)
         if failure is not None:
             report.failures.append(failure)
@@ -201,8 +217,8 @@ def _fail(
             "iteration": iteration,
             "seed": case_seed,
             "patterns": case.pattern_names,
-            "replay": f"repro fuzz --iterations 1 --seed {case_seed} "
-                      f"(stride 1; or rerun the original command)",
+            "replay": f"repro fuzz --iterations 1 "
+                      f"--case-seed {case_seed}",
         },
     )
     return FuzzFailure(iteration=iteration, seed=case_seed, oracle=oracle,

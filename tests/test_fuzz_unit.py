@@ -33,6 +33,12 @@ class TestGenerator:
             case = generate_case(seed)
             assert crash_detail(case.files, case.headers) is None, seed
 
+    def test_generation_never_raises(self):
+        # Regression: add_noise used to index chunks[-1] on files whose
+        # chunk list stayed empty (seed 73 and ~0.8% of seeds).
+        for seed in range(501):
+            generate_case(seed)
+
     def test_truth_points_at_real_files_and_functions(self):
         case = generate_case(
             7, force_patterns=["misplaced_pair", "wrong_type_group"]
@@ -238,6 +244,65 @@ class TestNeverRaiseHardening:
         detail = crash_detail(case.files, case.headers)
         assert detail is not None
         assert "unneeded" in detail
+
+    def test_internal_error_not_masked_by_earlier_parse_failure(self):
+        """A parse failure on one file must not hide an internal-stage
+        failure on a later file: the latter is the real oracle signal."""
+        from unittest import mock
+
+        entries = [
+            FileFailure("a.c", stage="parse", error="bad struct"),
+            FileFailure("b.c", stage="scan", error="scanner blew up"),
+        ]
+        result = mock.Mock(files_failed=entries)
+        result.report.checker_failures = []
+        with mock.patch("repro.fuzz.harness.run_in_mode",
+                        return_value=result):
+            detail = crash_detail({}, {})
+        assert detail == "internal error in b.c: scanner blew up"
+
+
+class TestReplay:
+    def test_artifact_replay_line_reproduces_the_case(self, tmp_path):
+        """The repro.json replay command must regenerate the exact
+        failing case: --case-seed feeds generate_case directly."""
+        import json
+
+        from repro.fuzz.harness import run_fuzz
+
+        @register_run_mode("_test_replay_liar")
+        def liar(source, options=None):
+            result = run_in_mode("serial", source, options)
+            result.report.ordering_findings = []
+            result.report.unneeded_findings = []
+            return result
+
+        try:
+            report = run_fuzz(
+                iterations=3, seed=2,
+                artifacts_dir=str(tmp_path), reduce=False,
+                modes=("serial", "_test_replay_liar"),
+            )
+            failing = [f for f in report.failures
+                       if f.oracle == "differential"]
+            assert failing, "liar mode should diverge at least once"
+            first = failing[0]
+            meta = json.loads(
+                (tmp_path / f"differential-seed{first.seed}" /
+                 "repro.json").read_text())
+            assert meta["replay"] == (
+                f"repro fuzz --iterations 1 --case-seed {first.seed}"
+            )
+            replayed = run_fuzz(
+                iterations=1, case_seed=first.seed,
+                artifacts_dir=str(tmp_path), reduce=False,
+                modes=("serial", "_test_replay_liar"),
+            )
+            assert len(replayed.failures) == 1
+            assert replayed.failures[0].seed == first.seed
+            assert replayed.failures[0].detail == first.detail
+        finally:
+            _RUN_MODES.pop("_test_replay_liar", None)
 
 
 class TestEvaluate:
