@@ -1,0 +1,131 @@
+"""Serving-layer throughput: cold one-shot vs. warm-pool deltas.
+
+The daemon's reason to exist is amortization: after one full analyze
+warms an engine, a one-file delta re-analysis over HTTP must beat a
+cold ``repro analyze`` of the whole tree by a wide margin — the
+acceptance bar is ≥5×.  Measured here end to end through the real wire
+path (JSON encode → HTTP → queue → pool → incremental engine), plus
+request throughput and client-observed p50/p95 latencies.
+
+Results render as a table (``benchmarks/output/serve_throughput.txt``)
+and as a machine-readable artifact
+(``benchmarks/output/serve_throughput.json``, also printed as a
+``BENCH`` line).
+"""
+
+import json
+import statistics
+import time
+
+from bench_scaling import _scaled_spec
+from conftest import OUTPUT_DIR
+
+from repro.core.engine import AnalysisOptions, OFenceEngine
+from repro.core.report import render_table
+from repro.corpus import generate_corpus
+from repro.serve import AnalysisServer, ServeClient
+
+#: Warm reanalyze requests measured per variant.
+ROUNDS = 15
+
+
+def _percentile(samples, p):
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, round(p / 100 * (len(ordered) - 1)))
+    return ordered[index]
+
+
+def _cold_analyze_seconds(source):
+    start = time.perf_counter()
+    OFenceEngine(source).analyze()
+    return time.perf_counter() - start
+
+
+def test_serve_throughput(benchmark, emit):
+    corpus = generate_corpus(_scaled_spec(4.0), seed=5)
+    source = corpus.source
+    target = source.files_with_barriers()[0]
+    original = source.files[target]
+
+    # The baseline the daemon must beat: a cold one-shot pipeline run.
+    benchmark.pedantic(
+        _cold_analyze_seconds, args=(source,), rounds=1, iterations=1
+    )
+    t_cold = min(_cold_analyze_seconds(source) for _ in range(2))
+
+    with AnalysisServer(options=AnalysisOptions()) as server:
+        client = ServeClient(server.url, timeout=600)
+
+        # Cold submit: first request builds the engine.
+        start = time.perf_counter()
+        submitted = client.analyze(source)
+        t_cold_submit = time.perf_counter() - start
+        assert submitted["status"] == "done"
+        key = submitted["tree_key"]
+
+        # Warm full resubmission: pool hit, in-memory caches do the work.
+        warm_full = []
+        for _ in range(3):
+            start = time.perf_counter()
+            client.analyze(source)
+            warm_full.append(time.perf_counter() - start)
+
+        # Warm one-file deltas: the incremental path over the wire.
+        warm_delta = []
+        for i in range(ROUNDS):
+            edited = original + f"\n/* serve-bench delta {i} */\n"
+            start = time.perf_counter()
+            response = client.reanalyze(key, [(target, edited)])
+            warm_delta.append(time.perf_counter() - start)
+            assert response["status"] == "done"
+
+        metrics = client.metrics()
+
+    t_delta_p50 = _percentile(warm_delta, 50)
+    t_delta_p95 = _percentile(warm_delta, 95)
+    req_per_sec = len(warm_delta) / sum(warm_delta)
+    speedup = t_cold / t_delta_p50
+
+    rows = [
+        (f"cold one-shot analyze "
+         f"({len(source.files_with_barriers())} barrier files)",
+         f"{t_cold:.2f}s"),
+        ("cold submit (engine build over HTTP)", f"{t_cold_submit:.2f}s"),
+        ("warm full resubmission (pool hit)",
+         f"p50={_percentile(warm_full, 50) * 1000:.0f}ms"),
+        (f"warm 1-file delta ×{ROUNDS}",
+         f"p50={t_delta_p50 * 1000:.0f}ms  p95={t_delta_p95 * 1000:.0f}ms  "
+         f"{req_per_sec:.1f} req/s"),
+        ("warm delta vs cold analyze", f"{speedup:.1f}x faster"),
+    ]
+    emit("serve_throughput",
+         render_table("Serving layer: cold vs warm-pool latency", rows))
+
+    payload = {
+        "bench": "serve_throughput",
+        "cold_analyze_seconds": round(t_cold, 4),
+        "cold_submit_seconds": round(t_cold_submit, 4),
+        "warm_full_p50_seconds": round(_percentile(warm_full, 50), 4),
+        "warm_delta_p50_seconds": round(t_delta_p50, 4),
+        "warm_delta_p95_seconds": round(t_delta_p95, 4),
+        "warm_delta_mean_seconds": round(statistics.mean(warm_delta), 4),
+        "warm_delta_req_per_sec": round(req_per_sec, 2),
+        "speedup_warm_delta_vs_cold": round(speedup, 2),
+        "rounds": ROUNDS,
+        "server_reported": {
+            "reanalyze_jobs": metrics["jobs"].get("reanalyze", {}),
+            "pool": metrics["pool"],
+        },
+    }
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / "serve_throughput.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+    print("BENCH " + json.dumps(payload))
+
+    assert metrics["pool"]["hits"] >= 1, "resubmission missed the warm pool"
+    assert speedup >= 5, (
+        f"warm-pool delta reanalyze must be >=5x faster than a cold "
+        f"analyze; got {speedup:.1f}x "
+        f"({t_delta_p50:.3f}s vs {t_cold:.3f}s)"
+    )

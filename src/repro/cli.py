@@ -6,6 +6,8 @@ Usage::
     ofence corpus [--seed N] [--small]    # generate + analyze the corpus
     ofence sweep [--small]                # Figure 6 window sweep
     ofence report [--seed N] [--small]    # full §6 evaluation report
+    ofence serve [--port N]               # analysis-as-a-service daemon
+    ofence submit DIR --server URL        # submit a tree to the daemon
 
 All subcommands print the pairings, findings and patches to stdout.
 """
@@ -36,6 +38,10 @@ def _add_perf_args(parser: argparse.ArgumentParser) -> None:
                         metavar="DIR",
                         help="content-addressed on-disk scan cache "
                              "(repeated runs skip unchanged files)")
+    parser.add_argument("--cache-max-bytes", type=int, default=None,
+                        metavar="N",
+                        help="byte-size cap for --cache-dir; LRU entries "
+                             "are evicted past it")
     parser.add_argument("--profile", action="store_true",
                         help="print the per-stage timing/counter "
                              "breakdown")
@@ -115,6 +121,36 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     eval_cmd.add_argument("--cases", type=int, default=20)
     eval_cmd.add_argument("--seed", type=int, default=0)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the analysis daemon (JSON over HTTP; warm engine "
+             "pool, request batching, /metrics)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8731)
+    serve.add_argument("--pool-size", type=int, default=4,
+                       help="warm engines kept (LRU evicted past it)")
+    serve.add_argument("--queue-capacity", type=int, default=32,
+                       help="queued jobs before 503 backpressure")
+    serve.add_argument("--batch-limit", type=int, default=8,
+                       help="max reanalyze jobs coalesced per batch")
+    serve.add_argument("--job-workers", type=int, default=1,
+                       help="concurrent job-executing threads")
+    _add_perf_args(serve)
+
+    submit = sub.add_parser(
+        "submit",
+        help="submit C files or a tree to a running analysis daemon",
+    )
+    submit.add_argument("files", nargs="+", type=Path)
+    submit.add_argument("--server", default="http://127.0.0.1:8731",
+                        metavar="URL")
+    submit.add_argument("--write-window", type=int, default=5)
+    submit.add_argument("--read-window", type=int, default=50)
+    submit.add_argument("--json", action="store_true",
+                        help="print the raw JSON response")
+    submit.add_argument("--timeout", type=float, default=300.0)
     return parser
 
 
@@ -130,7 +166,8 @@ def _perf_options(args, limits: ScanLimits | None = None) -> AnalysisOptions:
                 f"error: --cache-dir {cache_dir} exists and is not a directory"
             )
     options = AnalysisOptions(
-        workers=args.workers, cache_dir=args.cache_dir
+        workers=args.workers, cache_dir=args.cache_dir,
+        cache_max_bytes=getattr(args, "cache_max_bytes", None),
     )
     if limits is not None:
         options.limits = limits
@@ -257,6 +294,89 @@ def cmd_eval(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    import signal
+    import threading
+
+    from repro.serve import AnalysisServer
+
+    stop = threading.Event()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        signal.signal(signum, lambda *_: stop.set())
+
+    server = AnalysisServer(
+        host=args.host,
+        port=args.port,
+        options=_perf_options(args),
+        pool_capacity=args.pool_size,
+        queue_capacity=args.queue_capacity,
+        batch_limit=args.batch_limit,
+        workers=args.job_workers,
+    )
+    server.start()
+    print(f"ofence-serve listening on {server.url} "
+          f"(pool={args.pool_size} queue={args.queue_capacity} "
+          f"workers={args.job_workers})", flush=True)
+    stop.wait()
+    print("draining: finishing accepted jobs ...", flush=True)
+    drained = server.drain(timeout=120)
+    print("shutdown complete" if drained else "drain timed out",
+          flush=True)
+    return 0 if drained else 1
+
+
+def _load_submit_source(args):
+    from repro.core.engine import KernelSource
+
+    if len(args.files) == 1 and args.files[0].is_dir():
+        return KernelSource.from_directory(args.files[0])
+    return KernelSource(
+        files={str(path): path.read_text() for path in args.files}
+    )
+
+
+def cmd_submit(args) -> int:
+    import json as _json
+
+    from repro.serve import ClientError, ServeClient
+
+    source = _load_submit_source(args)
+    options = AnalysisOptions(limits=ScanLimits(
+        write_window=args.write_window, read_window=args.read_window
+    ))
+    client = ServeClient(args.server, timeout=args.timeout)
+    try:
+        response = client.submit_with_retry(
+            lambda: client.analyze(source, options, wait=True)
+        )
+    except ClientError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"error: cannot reach {args.server}: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(_json.dumps(response, indent=2, default=str))
+        return 0 if response.get("status") == "done" else 1
+    if response.get("status") != "done":
+        print(f"job {response.get('job_id')} failed: "
+              f"{response.get('error')}", file=sys.stderr)
+        return 1
+    summary = response["result"]
+    # Mirror ``repro analyze`` output so the outputs diff cleanly
+    # (the CI serve-smoke job relies on this).
+    print(f"{summary['total_barriers']} barriers, "
+          f"{len(summary['pairings'])} pairings\n")
+    for line in summary["pairings"]:
+        print("pairing:", line)
+    for line in summary["findings"]:
+        print("finding:", line)
+    print(f"\njob {response['job_id']} tree {response['tree_key'][:12]} "
+          f"signature {summary['signature'][:12]} "
+          f"({summary['elapsed_seconds']:.2f}s engine time)")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     handler = {
@@ -268,6 +388,8 @@ def main(argv: list[str] | None = None) -> int:
         "litmus": cmd_litmus,
         "fuzz": cmd_fuzz,
         "eval": cmd_eval,
+        "serve": cmd_serve,
+        "submit": cmd_submit,
     }[args.command]
     return handler(args)
 

@@ -9,18 +9,28 @@ windows.  Two layers use the key:
   re-scans files whose key changed since the last run;
 * an optional on-disk store (``--cache-dir``) holding the slim scan
   payload (barrier sites + parse error, no scanner/AST/CFG), so repeated
-  CLI runs and benchmark iterations skip parsing entirely.
+  CLI runs, benchmark iterations, and the ``repro serve`` daemon skip
+  parsing entirely.
 
 Disk entries self-describe with a format version and echo their key; a
-corrupted, truncated, or stale entry fails validation and loads as a
-miss, so the engine silently re-scans.
+corrupted, truncated, or stale entry fails validation, loads as a miss,
+is counted (``CacheStats.rejected``, plus ``CacheStats.corrupt`` for
+undecodable files), and is deleted so it is never re-read.
+
+Long-running daemons keep a ``--cache-dir`` open for days, so the store
+supports a byte-size cap (``max_bytes``): when a write pushes the total
+past the cap, the least-recently-*used* entries are evicted first —
+``load`` refreshes an entry's mtime on every hit, making mtime order the
+LRU order.
 """
 
 from __future__ import annotations
 
 import hashlib
+import os
 import pickle
 import re
+import threading
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable
@@ -90,7 +100,29 @@ class CacheStats:
     disk_hits: int = 0
     misses: int = 0
     rejected: int = 0  # corrupted / stale / version-mismatched entries
+    corrupt: int = 0   # subset of rejected: undecodable files (deleted)
     stores: int = 0
+    evicted: int = 0   # entries removed by the byte-size cap
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+            "rejected": self.rejected,
+            "corrupt": self.corrupt,
+            "stores": self.stores,
+            "evicted": self.evicted,
+        }
+
+    def merge(self, other: "CacheStats") -> None:
+        self.memory_hits += other.memory_hits
+        self.disk_hits += other.disk_hits
+        self.misses += other.misses
+        self.rejected += other.rejected
+        self.corrupt += other.corrupt
+        self.stores += other.stores
+        self.evicted += other.evicted
 
 
 @dataclass
@@ -99,12 +131,21 @@ class ScanCache:
 
     ``directory=None`` disables persistence; ``load`` always misses and
     ``store`` is a no-op, so the engine can use one code path.
+
+    ``max_bytes`` caps the store's total size; exceeding it on a write
+    evicts least-recently-used entries (mtime order — every ``load`` hit
+    refreshes the entry's mtime).  ``None`` means unbounded.
     """
 
     directory: Path | None = None
     stats: CacheStats = field(default_factory=CacheStats)
+    max_bytes: int | None = None
 
     def __post_init__(self) -> None:
+        # Serializes size bookkeeping + eviction across the daemon's
+        # worker threads; entry reads/writes are atomic on their own.
+        self._lock = threading.Lock()
+        self._total_bytes = 0
         if self.directory is not None:
             self.directory = Path(self.directory)
             try:
@@ -114,39 +155,70 @@ class ScanCache:
                 raise ValueError(
                     f"unusable scan cache directory {self.directory}: {exc}"
                 ) from exc
+            self._total_bytes = sum(
+                entry.stat().st_size
+                for entry in self.directory.rglob("*.pkl")
+            )
 
     @property
     def enabled(self) -> bool:
         return self.directory is not None
 
+    @property
+    def total_bytes(self) -> int:
+        return self._total_bytes
+
     def _path(self, key: str) -> Path:
         assert self.directory is not None
         return self.directory / key[:2] / f"{key}.pkl"
 
+    def _discard(self, target: Path, evicted: bool = False) -> None:
+        """Delete one entry, keeping the running total in sync."""
+        try:
+            size = target.stat().st_size
+            target.unlink()
+        except OSError:
+            return
+        with self._lock:
+            self._total_bytes = max(0, self._total_bytes - size)
+            if evicted:
+                self.stats.evicted += 1
+
     def load(self, key: str) -> CachedScan | None:
         if self.directory is None:
             return None
+        path = self._path(key)
         try:
-            with open(self._path(key), "rb") as handle:
+            with open(path, "rb") as handle:
                 entry = pickle.load(handle)
             if (
                 entry.get("format") != CACHE_FORMAT
                 or entry.get("key") != key
             ):
+                # Decodable but stale/misplaced: never valid again under
+                # this key, so delete rather than re-reject every run.
                 self.stats.rejected += 1
+                self._discard(path)
                 return None
             payload = entry["payload"]
             if not isinstance(payload, CachedScan):
                 self.stats.rejected += 1
+                self._discard(path)
                 return None
         except FileNotFoundError:
             return None
         except Exception:
             # Truncated pickle, unreadable file, stale class layout, ...:
-            # treat as a miss and let the engine re-scan.
+            # count it, delete the bad file, and let the engine re-scan.
             self.stats.rejected += 1
+            self.stats.corrupt += 1
+            self._discard(path)
             return None
         self.stats.disk_hits += 1
+        try:
+            os.utime(path)  # refresh LRU position (mtime order)
+        except OSError:
+            pass
         return payload
 
     def store(self, key: str, payload: CachedScan) -> None:
@@ -154,6 +226,7 @@ class ScanCache:
             return
         target = self._path(key)
         try:
+            old_size = target.stat().st_size if target.exists() else 0
             target.parent.mkdir(parents=True, exist_ok=True)
             tmp = target.with_suffix(".tmp")
             with open(tmp, "wb") as handle:
@@ -162,7 +235,35 @@ class ScanCache:
                     handle,
                     protocol=pickle.HIGHEST_PROTOCOL,
                 )
+            new_size = tmp.stat().st_size
             tmp.replace(target)
+            with self._lock:
+                self._total_bytes += new_size - old_size
             self.stats.stores += 1
         except OSError:
-            pass  # full/read-only disk never fails the analysis
+            return  # full/read-only disk never fails the analysis
+        if self.max_bytes is not None and self._total_bytes > self.max_bytes:
+            self._evict(keep=target)
+
+    def _evict(self, keep: Path) -> None:
+        """Drop least-recently-used entries until under ``max_bytes``.
+
+        The entry just written (``keep``) is spared so a cap smaller
+        than one payload still leaves the newest result readable.
+        """
+        assert self.directory is not None and self.max_bytes is not None
+        try:
+            entries = sorted(
+                (
+                    (entry.stat().st_mtime, entry)
+                    for entry in self.directory.rglob("*.pkl")
+                    if entry != keep
+                ),
+                key=lambda pair: pair[0],
+            )
+        except OSError:
+            return
+        for _mtime, entry in entries:
+            if self._total_bytes <= self.max_bytes:
+                break
+            self._discard(entry, evicted=True)

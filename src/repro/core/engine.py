@@ -31,6 +31,7 @@ import dataclasses
 import multiprocessing
 import re
 import tempfile
+import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -182,6 +183,10 @@ class AnalysisOptions:
     checks: frozenset[str] | None = None
     #: Directory for the on-disk scan cache (None = in-memory only).
     cache_dir: str | Path | None = None
+    #: Byte-size cap for the on-disk cache; least-recently-used entries
+    #: are evicted past it (None = unbounded).  Long-running daemons set
+    #: this so ``--cache-dir`` does not grow without bound.
+    cache_max_bytes: int | None = None
 
 
 @dataclass
@@ -283,10 +288,24 @@ class OFenceEngine:
         self.source = source
         self.options = options if options is not None else AnalysisOptions()
         self._file_cache: dict[str, FileAnalysis] = {}
-        self._disk_cache = ScanCache(self.options.cache_dir)
+        self._disk_cache = ScanCache(
+            self.options.cache_dir,
+            max_bytes=self.options.cache_max_bytes,
+        )
         self._pairing_index = PairingIndex()
+        #: Serializes whole runs.  ``analyze``/``reanalyze_file`` mutate
+        #: shared state with no internal synchronization (the file cache,
+        #: the pairing index and its candidate memo, ``self._profile``),
+        #: so concurrent callers — the ``repro serve`` engine pool in
+        #: particular — must take turns.  Re-entrant so a locked caller
+        #: can compose engine methods.
+        self._lock = threading.RLock()
         #: path -> (text hash, header closure) memo for key computation.
         self._closure_memo: dict[str, tuple[int, list[tuple[str, str]]]] = {}
+        #: path -> (scan key, finding-key -> generated patch content);
+        #: validated against the file's content-addressed scan key, so
+        #: incremental re-analyses only rebuild diffs the edit changed.
+        self._patch_memo: dict[str, tuple] = {}
         self._profile: StageProfile | None = None
 
     # -- selection --------------------------------------------------------------
@@ -306,6 +325,10 @@ class OFenceEngine:
     # -- full analysis ---------------------------------------------------------------
 
     def analyze(self) -> AnalysisResult:
+        with self._lock:
+            return self._analyze_locked()
+
+    def _analyze_locked(self) -> AnalysisResult:
         start = time.perf_counter()
         profile = StageProfile()
         self._profile = profile
@@ -331,6 +354,12 @@ class OFenceEngine:
 
     def reanalyze_file(self, path: str, new_text: str | None = None) -> AnalysisResult:
         """Incremental mode: re-scan one file, re-run pairing + checks."""
+        with self._lock:
+            return self._reanalyze_file_locked(path, new_text)
+
+    def _reanalyze_file_locked(
+        self, path: str, new_text: str | None = None
+    ) -> AnalysisResult:
         start = time.perf_counter()
         profile = StageProfile()
         self._profile = profile
@@ -394,8 +423,13 @@ class OFenceEngine:
             report = suite.run(pairing)
 
         with profile.stage("patch"):
-            generator = PatchGenerator(self.source.files, self._cfg_lookup)
+            generator = PatchGenerator(
+                self.source.files, self._cfg_lookup,
+                memo=self._patch_memo, file_key=self._patch_memo_key,
+            )
             patches = generator.generate_all(report.all_findings)
+            if generator.memo_hits:
+                profile.count("patch.memo_hits", generator.memo_hits)
             if generator.failures:
                 profile.count("patch.failed", len(generator.failures))
 
@@ -413,6 +447,11 @@ class OFenceEngine:
             stage_seconds=profile.coarse(),
             profile=profile,
         )
+
+    def _patch_memo_key(self, path: str) -> str | None:
+        """Current scan key of ``path`` (None = don't memoize)."""
+        cached = self._file_cache.get(path)
+        return cached.key if cached is not None else None
 
     def _sync_pairing_index(self, selected: list[str]) -> int:
         """Feed file-level deltas to the persistent pairing index.
@@ -613,6 +652,11 @@ class OFenceEngine:
     def file_analysis(self, path: str) -> FileAnalysis | None:
         return self._file_cache.get(path)
 
+    @property
+    def disk_cache(self) -> ScanCache:
+        """The on-disk scan cache (``repro serve`` reads its stats)."""
+        return self._disk_cache
+
 
 # ---------------------------------------------------------------------------
 # Run modes — named end-to-end execution strategies
@@ -695,6 +739,22 @@ def _run_cached(
         opts = _mode_options(options, workers=None, cache_dir=tmp)
         OFenceEngine(source, opts).analyze()
         return OFenceEngine(source, opts).analyze()
+
+
+@register_run_mode("serve")
+def _run_serve(
+    source: KernelSource, options: AnalysisOptions | None = None
+) -> AnalysisResult:
+    """Full analysis through the ``repro.serve`` daemon.
+
+    Spins up an in-process HTTP server, submits the tree over the real
+    wire protocol, and returns the job's engine-produced
+    :class:`AnalysisResult` — so the differential oracle compares the
+    service path (JSON codec, queue, engine pool) against serial mode.
+    """
+    from repro.serve.mode import run_via_service  # lazy: serve imports us
+
+    return run_via_service(source, options)
 
 
 @register_run_mode("incremental")

@@ -46,6 +46,19 @@ class Macro:
 IncludeResolver = Callable[[str, bool], "str | None"]
 
 
+def _is_macro_name(tok: Token, macros: dict[str, Macro]) -> bool:
+    """True when ``tok`` names a defined macro.
+
+    Preprocessing happens before keyword classification in C, so a macro
+    may shadow a keyword (``#define if ...``); the lexer has already
+    tagged such tokens ``KEYWORD``, so both kinds must be checked.
+    """
+    return (
+        tok.kind in (TokenKind.IDENT, TokenKind.KEYWORD)
+        and tok.value in macros
+    )
+
+
 @dataclass
 class Preprocessor:
     """Expands a token stream.
@@ -101,7 +114,7 @@ class Preprocessor:
             if cond_stack and not all(entry[0] for entry in cond_stack):
                 i += 1
                 continue
-            if tok.kind is TokenKind.IDENT and tok.value in self._macros:
+            if _is_macro_name(tok, self._macros):
                 expanded, consumed = self._expand_macro(tokens, i, set())
                 out.extend(expanded)
                 i += consumed
@@ -363,7 +376,7 @@ class Preprocessor:
         i = 0
         while i < len(tokens):
             t = tokens[i]
-            if t.kind is TokenKind.IDENT and t.value in self._macros:
+            if _is_macro_name(t, self._macros):
                 expanded, consumed = self._expand_macro(tokens, i, hide)
                 out.extend(expanded)
                 i += consumed

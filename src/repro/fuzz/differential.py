@@ -19,9 +19,12 @@ from repro.core.engine import (
     run_in_mode,
 )
 
-#: Modes exercised by default; "serial" is the reference.
+#: Modes exercised by default; "serial" is the reference.  "serve"
+#: submits the tree to an in-process ``repro.serve`` daemon over real
+#: HTTP, so the wire codec, queue, and engine pool are all under the
+#: differential oracle.
 DEFAULT_MODES: tuple[str, ...] = (
-    "serial", "parallel", "cached", "incremental",
+    "serial", "parallel", "cached", "incremental", "serve",
 )
 
 

@@ -44,28 +44,116 @@ class Patch:
         return f"{self.header}\n{self.diff}" if self.diff else self.header
 
 
-class PatchGenerator:
-    """Generates patches against pristine per-file sources."""
+#: Per-file memo buckets larger than this are dropped wholesale — a
+#: backstop against pairing churn accumulating dead keys on a long-lived
+#: engine (the daemon); buckets normally hold a handful of findings.
+_MEMO_BUCKET_CAP = 1024
 
-    def __init__(self, file_sources: dict[str, str], cfg_lookup=None):
+_MISS = object()
+
+
+def _memo_key(finding: Finding) -> tuple:
+    """Everything patch generation reads off a finding.
+
+    Together with the file's content-addressed scan key (which covers
+    the source text, headers, defines, and scan windows — and thereby
+    the CFG that ``MOVE_READ`` consults), identical keys are guaranteed
+    to regenerate the identical patch.
+    """
+    barrier = finding.barrier
+    use = finding.use
+    pairing = finding.pairing
+    return (
+        finding.kind.value,
+        finding.function,
+        finding.line,
+        finding.fix_action.value,
+        finding.explanation,
+        tuple(sorted(finding.details.items())),
+        str(finding.object_key),
+        (barrier.function, barrier.line, barrier.primitive)
+        if barrier is not None else None,
+        (use.stmt_id, use.side, use.access.line, use.access.kind.value)
+        if use is not None else None,
+        (
+            tuple((b.filename, b.function, b.line, b.primitive)
+                  for b in pairing.barriers),
+            tuple(sorted(str(key) for key in pairing.common_objects)),
+        )
+        if pairing is not None else None,
+    )
+
+
+class PatchGenerator:
+    """Generates patches against pristine per-file sources.
+
+    With ``memo``/``file_key`` (provided by a long-lived engine),
+    generation results are cached per file: the memo maps ``filename →
+    (scan_key, bucket)`` and a bucket maps :func:`_memo_key` to the
+    generated content, so an incremental re-analysis only pays diff
+    construction for findings the edit actually changed.
+    """
+
+    def __init__(self, file_sources: dict[str, str], cfg_lookup=None,
+                 memo: dict | None = None, file_key=None):
         self._sources = file_sources
         self._cfg_lookup = cfg_lookup
+        self._memo = memo
+        self._file_key = file_key
         #: (finding_id, error) pairs for findings whose patch generation
         #: raised — surfaced instead of aborting the run (never-raise).
         self.failures: list[tuple[str, str]] = []
+        self.memo_hits = 0
+
+    def _bucket(self, filename: str) -> dict | None:
+        if self._memo is None or self._file_key is None:
+            return None
+        scan_key = self._file_key(filename)
+        if scan_key is None:
+            return None
+        entry = self._memo.get(filename)
+        if entry is None or entry[0] != scan_key:
+            entry = (scan_key, {})
+            self._memo[filename] = entry
+        bucket = entry[1]
+        if len(bucket) > _MEMO_BUCKET_CAP:
+            bucket.clear()
+        return bucket
 
     def generate_all(self, findings: list[Finding]) -> list[Patch]:
         patches = []
         for finding in findings:
+            bucket = self._bucket(finding.filename)
+            key = _memo_key(finding) if bucket is not None else None
+            cached = bucket.get(key, _MISS) if bucket is not None else _MISS
+            if cached is not _MISS:
+                self.memo_hits += 1
+                outcome, payload = cached
+                if outcome == "patch":
+                    header, diff, new_source, applied = payload
+                    patches.append(Patch(
+                        finding, finding.filename, header, diff,
+                        new_source, applied=applied,
+                    ))
+                elif outcome == "error":
+                    self.failures.append((finding.finding_id, payload))
+                continue
             try:
                 patch = self.generate(finding)
             except Exception as exc:
-                self.failures.append(
-                    (finding.finding_id, f"{type(exc).__name__}: {exc}")
-                )
+                error = f"{type(exc).__name__}: {exc}"
+                self.failures.append((finding.finding_id, error))
+                if bucket is not None:
+                    bucket[key] = ("error", error)
                 continue
             if patch is not None:
                 patches.append(patch)
+            if bucket is not None:
+                bucket[key] = (
+                    ("patch", (patch.header, patch.diff, patch.new_source,
+                               patch.applied))
+                    if patch is not None else ("none", None)
+                )
         return patches
 
     def generate(self, finding: Finding) -> Patch | None:

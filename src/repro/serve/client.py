@@ -1,0 +1,147 @@
+"""Thin HTTP client for the analysis service (stdlib only).
+
+Used by ``repro submit``, the ``serve`` run mode, the benchmark, and the
+tests.  Responses are plain dicts (decoded JSON); HTTP errors raise
+:class:`ClientError` carrying the status and ``Retry-After`` hint so
+callers can implement backpressure-aware retries
+(:meth:`ServeClient.submit_with_retry`).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any
+
+from repro.core.engine import AnalysisOptions, KernelSource
+from repro.serve.wire import encode_options, encode_source
+
+
+class ClientError(Exception):
+    """A non-2xx response from the service."""
+
+    def __init__(self, status: int, message: str,
+                 retry_after: float | None = None):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.retry_after = retry_after
+
+
+class ServeClient:
+    """Talks to one analysis daemon."""
+
+    def __init__(self, base_url: str, timeout: float = 300.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- raw HTTP ----------------------------------------------------------
+
+    def _request(self, method: str, path: str,
+                 body: dict[str, Any] | None = None) -> dict[str, Any]:
+        request = urllib.request.Request(
+            f"{self.base_url}{path}", method=method
+        )
+        data = None
+        if body is not None:
+            data = json.dumps(body).encode()
+            request.add_header("Content-Type", "application/json")
+        try:
+            with urllib.request.urlopen(
+                request, data=data, timeout=self.timeout
+            ) as response:
+                return json.loads(response.read())
+        except urllib.error.HTTPError as exc:
+            retry_after = exc.headers.get("Retry-After")
+            try:
+                detail = json.loads(exc.read()).get("error", "")
+            except Exception:
+                detail = exc.reason
+            raise ClientError(
+                exc.code, str(detail),
+                retry_after=float(retry_after) if retry_after else None,
+            ) from exc
+
+    # -- endpoints ---------------------------------------------------------
+
+    def healthz(self) -> dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> dict[str, Any]:
+        return self._request("GET", "/metrics")
+
+    def metrics_text(self) -> str:
+        request = urllib.request.Request(
+            f"{self.base_url}/metrics?format=prometheus"
+        )
+        with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+            return resp.read().decode()
+
+    def job(self, job_id: str, wait: bool = False,
+            timeout: float | None = None) -> dict[str, Any]:
+        query = ""
+        if wait:
+            query = "?wait=1"
+            if timeout is not None:
+                query += f"&timeout={timeout}"
+        return self._request("GET", f"/v1/jobs/{job_id}{query}")
+
+    def analyze(
+        self,
+        source: KernelSource,
+        options: AnalysisOptions | None = None,
+        wait: bool = True,
+    ) -> dict[str, Any]:
+        body: dict[str, Any] = {"source": encode_source(source)}
+        encoded = encode_options(options)
+        if encoded is not None:
+            body["options"] = encoded
+        suffix = "?wait=1" if wait else ""
+        return self._request("POST", f"/v1/analyze{suffix}", body)
+
+    def reanalyze(
+        self,
+        tree_key: str,
+        deltas: list[tuple[str, str]],
+        wait: bool = True,
+    ) -> dict[str, Any]:
+        body = {
+            "tree_key": tree_key,
+            "deltas": [{"path": path, "text": text}
+                       for path, text in deltas],
+        }
+        suffix = "?wait=1" if wait else ""
+        return self._request("POST", f"/v1/reanalyze{suffix}", body)
+
+    # -- convenience -------------------------------------------------------
+
+    def submit_with_retry(
+        self,
+        submit,
+        attempts: int = 5,
+        max_backoff: float = 10.0,
+    ) -> dict[str, Any]:
+        """Call ``submit()`` honouring 503 + Retry-After backpressure."""
+        last: ClientError | None = None
+        for _ in range(attempts):
+            try:
+                return submit()
+            except ClientError as exc:
+                if exc.status != 503:
+                    raise
+                last = exc
+                time.sleep(min(exc.retry_after or 1.0, max_backoff))
+        assert last is not None
+        raise last
+
+    def wait_for_ready(self, timeout: float = 10.0) -> bool:
+        """Poll ``/healthz`` until the daemon answers (startup races)."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            try:
+                self.healthz()
+                return True
+            except (ClientError, OSError):
+                time.sleep(0.05)
+        return False

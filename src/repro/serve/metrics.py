@@ -1,0 +1,185 @@
+"""Live metrics for the analysis service.
+
+One :class:`MetricsRegistry` per server aggregates:
+
+* request latencies per endpoint (sliding window; p50/p95/p99),
+* job counters (completed/failed/batched, per kind),
+* engine-stage timings and counters, merged from every job's
+  :class:`~repro.core.profile.StageProfile`,
+* scan-cache statistics merged from every engine's
+  :class:`~repro.core.cache.CacheStats`,
+* live gauges (queue depth, pool occupancy) sampled at render time.
+
+``render_json`` feeds ``GET /metrics``; ``render_prometheus`` renders
+the same snapshot in the Prometheus text exposition format
+(``GET /metrics?format=prometheus``).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from typing import Any
+
+from repro.core.cache import CacheStats
+from repro.core.profile import StageProfile
+
+#: Latency samples kept per series; old samples age out so percentiles
+#: track current behaviour, not the daemon's whole lifetime.
+WINDOW = 1024
+
+
+class LatencyWindow:
+    """Sliding window of durations with percentile queries."""
+
+    def __init__(self, maxlen: int = WINDOW):
+        self._samples: deque[float] = deque(maxlen=maxlen)
+        self.count = 0
+        self.total = 0.0
+
+    def record(self, seconds: float) -> None:
+        self._samples.append(seconds)
+        self.count += 1
+        self.total += seconds
+
+    def percentile(self, p: float) -> float | None:
+        if not self._samples:
+            return None
+        ordered = sorted(self._samples)
+        index = min(
+            len(ordered) - 1, max(0, round(p / 100 * (len(ordered) - 1)))
+        )
+        return ordered[index]
+
+    def summary(self) -> dict[str, Any]:
+        return {
+            "count": self.count,
+            "mean_ms": (self.total / self.count * 1000) if self.count else None,
+            "p50_ms": _ms(self.percentile(50)),
+            "p95_ms": _ms(self.percentile(95)),
+            "p99_ms": _ms(self.percentile(99)),
+        }
+
+
+def _ms(seconds: float | None) -> float | None:
+    return None if seconds is None else seconds * 1000
+
+
+class MetricsRegistry:
+    """Thread-safe aggregation point for everything ``/metrics`` shows."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._started = time.monotonic()
+        self._requests: dict[str, LatencyWindow] = {}
+        self._jobs: dict[str, LatencyWindow] = {}
+        self._counters: dict[str, int] = {}
+        self._stage_seconds: dict[str, float] = {}
+        self._stage_counters: dict[str, int] = {}
+        self._cache = CacheStats()
+
+    # -- recording ---------------------------------------------------------
+
+    def observe_request(
+        self, endpoint: str, seconds: float, status: int
+    ) -> None:
+        with self._lock:
+            self._requests.setdefault(endpoint, LatencyWindow()) \
+                .record(seconds)
+            self.increment(f"http.{endpoint}.{status}", _locked=True)
+
+    def observe_job(self, kind: str, seconds: float, ok: bool) -> None:
+        with self._lock:
+            self._jobs.setdefault(kind, LatencyWindow()).record(seconds)
+            name = f"jobs.{kind}.{'completed' if ok else 'failed'}"
+            self.increment(name, _locked=True)
+
+    def increment(self, name: str, amount: int = 1,
+                  _locked: bool = False) -> None:
+        if _locked:
+            self._counters[name] = self._counters.get(name, 0) + amount
+            return
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
+
+    def merge_profile(self, profile: StageProfile) -> None:
+        with self._lock:
+            for name, seconds in profile.stages.items():
+                self._stage_seconds[name] = \
+                    self._stage_seconds.get(name, 0.0) + seconds
+            for name, value in profile.counters.items():
+                self._stage_counters[name] = \
+                    self._stage_counters.get(name, 0) + value
+
+    def merge_cache(self, stats: CacheStats) -> None:
+        with self._lock:
+            self._cache.merge(stats)
+
+    # -- rendering ---------------------------------------------------------
+
+    def snapshot(
+        self,
+        queue: dict[str, Any] | None = None,
+        pool: dict[str, Any] | None = None,
+    ) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "uptime_seconds": time.monotonic() - self._started,
+                "requests": {
+                    name: window.summary()
+                    for name, window in sorted(self._requests.items())
+                },
+                "jobs": {
+                    name: window.summary()
+                    for name, window in sorted(self._jobs.items())
+                },
+                "counters": dict(sorted(self._counters.items())),
+                "stage_seconds": dict(sorted(self._stage_seconds.items())),
+                "stage_counters": dict(sorted(self._stage_counters.items())),
+                "cache": self._cache.as_dict(),
+                "queue": queue or {},
+                "pool": pool or {},
+            }
+
+    def render_json(self, **gauges) -> str:
+        return json.dumps(self.snapshot(**gauges), indent=2, default=str)
+
+    def render_prometheus(self, **gauges) -> str:
+        """The snapshot in Prometheus text exposition format."""
+        snap = self.snapshot(**gauges)
+        lines: list[str] = [
+            "# TYPE ofence_uptime_seconds gauge",
+            f"ofence_uptime_seconds {snap['uptime_seconds']:.3f}",
+        ]
+        lines.append("# TYPE ofence_request_seconds summary")
+        for endpoint, summary in snap["requests"].items():
+            label = f'endpoint="{endpoint}"'
+            lines.append(
+                f"ofence_requests_total{{{label}}} {summary['count']}"
+            )
+            for q, key in ((0.5, "p50_ms"), (0.95, "p95_ms"),
+                           (0.99, "p99_ms")):
+                value = summary[key]
+                if value is not None:
+                    lines.append(
+                        f'ofence_request_seconds{{{label},quantile="{q}"}} '
+                        f"{value / 1000:.6f}"
+                    )
+        for name, value in snap["counters"].items():
+            metric = "ofence_" + name.replace(".", "_")
+            lines.append(f"{metric} {value}")
+        for name, seconds in snap["stage_seconds"].items():
+            metric = "ofence_stage_seconds_total{stage=\"%s\"}" % name
+            lines.append(f"{metric} {seconds:.6f}")
+        for name, value in snap["cache"].items():
+            lines.append(f"ofence_cache_{name} {value}")
+        for group, prefix in ((snap["queue"], "ofence_queue_"),
+                              (snap["pool"], "ofence_pool_")):
+            for name, value in group.items():
+                if isinstance(value, bool):
+                    value = int(value)
+                if isinstance(value, (int, float)):
+                    lines.append(f"{prefix}{name} {value}")
+        return "\n".join(lines) + "\n"

@@ -1,0 +1,49 @@
+"""The ``serve`` run mode: one full analysis through the real service.
+
+Registered in ``repro.core.engine``'s run-mode registry, which makes the
+daemon a first-class execution strategy for the fuzzing layer: the
+differential oracle submits every generated tree over HTTP to an
+in-process server and diffs the engine-produced result against serial
+mode, so a codec bug, a queue reordering, or pool state leaking between
+requests shows up as a divergence with a minimized reproducer.
+"""
+
+from __future__ import annotations
+
+from repro.core.engine import AnalysisOptions, AnalysisResult, KernelSource
+from repro.serve.client import ServeClient
+from repro.serve.server import AnalysisServer
+
+
+def run_via_service(
+    source: KernelSource, options: AnalysisOptions | None = None
+) -> AnalysisResult:
+    """Analyze ``source`` through a fresh in-process daemon.
+
+    The submission travels the full wire path (JSON encode → HTTP →
+    decode → queue → pool → engine); the returned value is the job's
+    actual :class:`AnalysisResult` object, fetched from the in-process
+    job table, so callers can compare every observable field against
+    other run modes.
+    """
+    with AnalysisServer(options=options) as server:
+        client = ServeClient(server.url)
+        response = client.analyze(source, options, wait=True)
+        if response.get("status") != "done":
+            raise RuntimeError(
+                f"service analyze failed: {response.get('error')!r}"
+            )
+        job = server.service.job(response["job_id"])
+        if job.result is None:
+            raise RuntimeError(f"service job lost its result: {job.error!r}")
+        # Cross-check: the wire summary must describe the same result
+        # the engine produced (counts only — the full signature diff is
+        # the differential oracle's job).
+        summary = response.get("result") or {}
+        if summary.get("total_barriers") != job.result.total_barriers:
+            raise RuntimeError(
+                "wire summary disagrees with engine result: "
+                f"{summary.get('total_barriers')} != "
+                f"{job.result.total_barriers} barriers"
+            )
+        return job.result

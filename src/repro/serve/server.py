@@ -1,0 +1,474 @@
+"""The analysis daemon: JSON over HTTP on the stdlib HTTP server.
+
+Two layers:
+
+* :class:`AnalysisService` — transport-independent core owning the
+  engine pool, the job queue, the worker threads, the job table, and
+  the metrics registry.  Tests drive it directly; the run-mode shim and
+  the CLI drive it through HTTP.
+* :class:`AnalysisServer` — ``ThreadingHTTPServer`` wrapper routing
+
+  ====== ======================= =====================================
+  POST   ``/v1/analyze``         submit a full tree (``?wait=1`` blocks)
+  POST   ``/v1/reanalyze``       file deltas against a warm engine
+  GET    ``/v1/jobs/<id>``       job status/result (``?wait=1`` blocks)
+  GET    ``/metrics``            JSON (``?format=prometheus`` for text)
+  GET    ``/healthz``            liveness + drain state
+  ====== ======================= =====================================
+
+Backpressure: a full queue or a draining server answers ``503`` with a
+``Retry-After`` header.  Graceful drain (SIGTERM in the CLI) stops
+accepting work, finishes queued and in-flight jobs, then shuts the
+listener down.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import traceback
+from dataclasses import replace
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable
+from urllib.parse import parse_qs, urlparse
+
+from repro.core.cache import CacheStats
+from repro.core.engine import AnalysisOptions, OFenceEngine
+from repro.serve.metrics import MetricsRegistry
+from repro.serve.pool import EnginePool
+from repro.serve.queue import Draining, Job, JobQueue, QueueFull
+from repro.serve.wire import (
+    decode_options,
+    decode_source,
+    result_summary,
+    tree_key,
+)
+
+#: Completed jobs kept for ``GET /v1/jobs/<id>`` (FIFO bounded).
+JOB_HISTORY = 256
+
+
+class ServeError(Exception):
+    """An HTTP-mappable service error."""
+
+    def __init__(self, status: int, message: str,
+                 retry_after: float | None = None):
+        super().__init__(message)
+        self.status = status
+        self.retry_after = retry_after
+
+
+class AnalysisService:
+    """Owns pool + queue + workers + jobs + metrics."""
+
+    def __init__(
+        self,
+        options: AnalysisOptions | None = None,
+        pool_capacity: int = 4,
+        queue_capacity: int = 32,
+        batch_limit: int = 8,
+        workers: int = 1,
+        on_job_start: Callable[[Job], None] | None = None,
+    ):
+        #: Server-side execution strategy; wire options overlay the
+        #: semantic knobs only (see ``repro.serve.wire``).
+        self.base_options = options if options is not None \
+            else AnalysisOptions()
+        self.pool = EnginePool(capacity=pool_capacity)
+        self.queue = JobQueue(capacity=queue_capacity,
+                              batch_limit=batch_limit)
+        self.metrics = MetricsRegistry()
+        self.jobs: dict[str, Job] = {}
+        self._job_order: list[str] = []
+        self._jobs_lock = threading.Lock()
+        self._on_job_start = on_job_start
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop, name=f"serve-worker-{i}",
+                daemon=True,
+            )
+            for i in range(max(1, workers))
+        ]
+        for worker in self._workers:
+            worker.start()
+
+    # -- submission --------------------------------------------------------
+
+    def _register(self, job: Job) -> Job:
+        with self._jobs_lock:
+            self.jobs[job.job_id] = job
+            self._job_order.append(job.job_id)
+            while len(self._job_order) > JOB_HISTORY:
+                stale_id = self._job_order.pop(0)
+                stale = self.jobs.get(stale_id)
+                # Never forget a job that has not finished yet.
+                if stale is not None and stale.status in ("done", "failed"):
+                    del self.jobs[stale_id]
+                else:
+                    self._job_order.insert(0, stale_id)
+                    break
+        return job
+
+    def submit_analyze(self, payload: dict[str, Any]) -> Job:
+        source = decode_source(payload.get("source") or payload)
+        options = decode_options(payload.get("options"), self.base_options)
+        key = tree_key(source, options)
+        job = Job(kind="analyze", tree_key=key, source=source,
+                  options=options)
+        self._submit(job)
+        return self._register(job)
+
+    def submit_reanalyze(self, payload: dict[str, Any]) -> Job:
+        key = payload.get("tree_key")
+        if not key:
+            raise ServeError(400, "reanalyze requires tree_key")
+        if self.pool.get(key) is None:
+            raise ServeError(
+                409,
+                f"no warm engine for tree {key[:12]}; "
+                "submit /v1/analyze first",
+            )
+        raw = payload.get("deltas")
+        if not isinstance(raw, list) or not raw:
+            raise ServeError(400, "reanalyze requires a non-empty deltas "
+                                  "list of {path, text}")
+        deltas: list[tuple[str, str]] = []
+        for item in raw:
+            if not isinstance(item, dict) or "path" not in item:
+                raise ServeError(400, "each delta needs path (+ text)")
+            deltas.append((str(item["path"]), str(item.get("text", ""))))
+        job = Job(kind="reanalyze", tree_key=key, deltas=deltas)
+        self._submit(job)
+        return self._register(job)
+
+    def _submit(self, job: Job) -> None:
+        try:
+            self.queue.submit(job)
+        except (QueueFull, Draining) as exc:
+            self.metrics.increment("jobs.rejected")
+            raise ServeError(503, str(exc), retry_after=exc.retry_after) \
+                from exc
+
+    def job(self, job_id: str) -> Job:
+        with self._jobs_lock:
+            job = self.jobs.get(job_id)
+        if job is None:
+            raise ServeError(404, f"unknown job {job_id}")
+        return job
+
+    # -- worker ------------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            batch = self.queue.next_batch()
+            if batch is None:
+                return
+            try:
+                if len(batch) > 1:
+                    self.metrics.increment("jobs.batched", len(batch))
+                if batch[0].kind == "analyze":
+                    for job in batch:
+                        self._run_analyze(job)
+                else:
+                    self._run_reanalyze_batch(batch)
+            finally:
+                self.queue.done(len(batch))
+
+    def _run_analyze(self, job: Job) -> None:
+        job.mark_running()
+        if self._on_job_start is not None:
+            self._on_job_start(job)
+        try:
+            with self.pool.acquire(
+                job.tree_key, source=job.source, options=job.options
+            ) as engine:
+                result = engine.analyze()
+                self._absorb(engine, job, result)
+        except Exception as exc:  # pragma: no cover - engine never-raise
+            job.mark_failed(f"{type(exc).__name__}: {exc}")
+            self.metrics.observe_job("analyze", job.run_seconds or 0.0,
+                                     ok=False)
+
+    def _run_reanalyze_batch(self, batch: list[Job]) -> None:
+        entry = self.pool.get(batch[0].tree_key)
+        if entry is None:
+            # Evicted between submission and execution: the client must
+            # re-submit the full tree.
+            for job in batch:
+                job.mark_running()
+                job.mark_failed(
+                    "warm engine evicted before the job ran; "
+                    "submit /v1/analyze again"
+                )
+                self.metrics.observe_job("reanalyze", 0.0, ok=False)
+            return
+        with entry.lock:
+            entry.uses += len(batch)
+            for job in batch:
+                job.mark_running()
+                if self._on_job_start is not None:
+                    self._on_job_start(job)
+                try:
+                    result = None
+                    for path, text in job.deltas:
+                        result = entry.engine.reanalyze_file(path, text)
+                    assert result is not None  # deltas validated non-empty
+                    self._absorb(entry.engine, job, result)
+                except Exception as exc:  # pragma: no cover
+                    job.mark_failed(f"{type(exc).__name__}: {exc}")
+                    self.metrics.observe_job(
+                        "reanalyze", job.run_seconds or 0.0, ok=False
+                    )
+
+    def _absorb(self, engine: OFenceEngine, job: Job, result) -> None:
+        job.mark_done(result)
+        self.metrics.observe_job(job.kind, job.run_seconds or 0.0, ok=True)
+        self.metrics.merge_profile(result.profile)
+        # Merge-and-reset keeps the registry cumulative without
+        # double-counting an engine's stats on its next job.
+        self.metrics.merge_cache(replace(engine.disk_cache.stats))
+        engine.disk_cache.stats = CacheStats()
+
+    # -- observability -----------------------------------------------------
+
+    def metrics_gauges(self) -> dict[str, Any]:
+        return {
+            "queue": self.queue.snapshot(),
+            "pool": self.pool.snapshot(),
+        }
+
+    def health(self) -> dict[str, Any]:
+        return {
+            "status": "draining" if not self.queue.accepting else "ok",
+            "accepting": self.queue.accepting,
+            "queue_depth": self.queue.depth,
+            "in_flight": self.queue.in_flight,
+            "warm_engines": len(self.pool),
+        }
+
+    # -- shutdown ----------------------------------------------------------
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Finish all accepted work, refuse new work. True on success."""
+        drained = self.queue.drain(timeout)
+        self.queue.stop()
+        for worker in self._workers:
+            worker.join(timeout=5)
+        return drained
+
+    def close(self) -> None:
+        self.queue.stop()
+        for worker in self._workers:
+            worker.join(timeout=5)
+
+
+# ---------------------------------------------------------------------------
+# HTTP layer
+# ---------------------------------------------------------------------------
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "ofence-serve/1.0"
+    protocol_version = "HTTP/1.1"
+
+    #: Wait cap for ``?wait=1`` requests; clients poll past it.
+    MAX_WAIT = 300.0
+
+    @property
+    def service(self) -> AnalysisService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass  # metrics cover it; stderr noise breaks CLI output
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _send(self, status: int, body: str,
+              content_type: str = "application/json",
+              retry_after: float | None = None) -> None:
+        payload = body.encode()
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        if retry_after is not None:
+            self.send_header("Retry-After", str(max(1, int(retry_after))))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def _send_json(self, status: int, obj: Any,
+                   retry_after: float | None = None) -> None:
+        self._send(status, json.dumps(obj, default=str),
+                   retry_after=retry_after)
+
+    def _read_body(self) -> dict[str, Any]:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            raise ServeError(400, "request body required")
+        raw = self.rfile.read(length)
+        try:
+            payload = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ServeError(400, f"invalid JSON body: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise ServeError(400, "JSON body must be an object")
+        return payload
+
+    def _job_response(self, job: Job, query: dict) -> None:
+        if query.get("wait", ["0"])[0] in ("1", "true"):
+            timeout = min(
+                float(query.get("timeout", [self.MAX_WAIT])[0]),
+                self.MAX_WAIT,
+            )
+            job.wait(timeout)
+        body = job.describe()
+        if job.status == "done" and job.result is not None:
+            body["result"] = result_summary(job.result)
+        status = 200 if job.status in ("done", "running", "queued") else 500
+        self._send_json(status, body)
+
+    def _dispatch(self, handler: Callable[[], None], endpoint: str) -> None:
+        import time as _time
+
+        start = _time.perf_counter()
+        status = 500
+        try:
+            handler()
+            status = 200
+        except ServeError as exc:
+            status = exc.status
+            self._send_json(
+                exc.status, {"error": str(exc)}, retry_after=exc.retry_after
+            )
+        except (BrokenPipeError, ConnectionResetError):
+            status = 499  # client went away mid-response
+        except Exception:
+            self._send_json(500, {"error": traceback.format_exc(limit=3)})
+        finally:
+            self.service.metrics.observe_request(
+                endpoint, _time.perf_counter() - start, status
+            )
+
+    # -- routes ------------------------------------------------------------
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        url = urlparse(self.path)
+        query = parse_qs(url.query)
+        if url.path == "/v1/analyze":
+            self._dispatch(
+                lambda: self._job_response(
+                    self.service.submit_analyze(self._read_body()), query
+                ),
+                "analyze",
+            )
+        elif url.path == "/v1/reanalyze":
+            self._dispatch(
+                lambda: self._job_response(
+                    self.service.submit_reanalyze(self._read_body()), query
+                ),
+                "reanalyze",
+            )
+        else:
+            self._send_json(404, {"error": f"no such endpoint {url.path}"})
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        url = urlparse(self.path)
+        query = parse_qs(url.query)
+        if url.path.startswith("/v1/jobs/"):
+            job_id = url.path.rsplit("/", 1)[-1]
+            self._dispatch(
+                lambda: self._job_response(self.service.job(job_id), query),
+                "jobs",
+            )
+        elif url.path == "/metrics":
+            fmt = query.get("format", ["json"])[0]
+            accept = self.headers.get("Accept", "")
+            want_text = fmt in ("prometheus", "prom", "text") or (
+                fmt == "json" and "text/plain" in accept
+            )
+
+            def render_metrics() -> None:
+                gauges = self.service.metrics_gauges()
+                if want_text:
+                    self._send(
+                        200,
+                        self.service.metrics.render_prometheus(**gauges),
+                        content_type="text/plain; version=0.0.4",
+                    )
+                else:
+                    self._send(
+                        200, self.service.metrics.render_json(**gauges)
+                    )
+
+            self._dispatch(render_metrics, "metrics")
+        elif url.path == "/healthz":
+            def render_health() -> None:
+                health = self.service.health()
+                self._send_json(
+                    200 if health["accepting"] else 503, health,
+                    retry_after=None if health["accepting"] else 5,
+                )
+
+            self._dispatch(render_health, "healthz")
+        else:
+            self._send_json(404, {"error": f"no such endpoint {url.path}"})
+
+
+class AnalysisServer:
+    """``ThreadingHTTPServer`` front-end over :class:`AnalysisService`."""
+
+    def __init__(
+        self,
+        service: AnalysisService | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        **service_kwargs,
+    ):
+        self.service = service if service is not None \
+            else AnalysisService(**service_kwargs)
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self._httpd.service = self.service  # type: ignore[attr-defined]
+        self._thread: threading.Thread | None = None
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "AnalysisServer":
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="serve-http", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Run the listener on the calling thread (the CLI path)."""
+        self._httpd.serve_forever()
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Graceful shutdown: finish accepted jobs, then stop listening."""
+        drained = self.service.drain(timeout)
+        self.stop()
+        return drained
+
+    def stop(self) -> None:
+        self.service.close()
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def __enter__(self) -> "AnalysisServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

@@ -1,0 +1,134 @@
+"""JSON wire codec for the analysis service.
+
+Everything that crosses the HTTP boundary round-trips through these
+helpers: the source tree, the analysis options a client may override,
+and the result summary.  The codec is deliberately lossless for the
+fields that affect analysis output — the differential oracle runs the
+same tree through the service and through serial mode and requires
+byte-identical findings.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any
+
+from repro.analysis.barrier_scan import ScanLimits
+from repro.core.engine import AnalysisOptions, AnalysisResult, KernelSource
+from repro.kernel.config import KernelConfig
+
+
+def encode_source(source: KernelSource) -> dict[str, Any]:
+    return {
+        "files": dict(source.files),
+        "headers": dict(source.headers),
+        "file_options": dict(source.file_options),
+    }
+
+
+def decode_source(payload: dict[str, Any]) -> KernelSource:
+    return KernelSource(
+        files=dict(payload.get("files", {})),
+        headers=dict(payload.get("headers", {})),
+        file_options=dict(payload.get("file_options", {})),
+    )
+
+
+def encode_options(options: AnalysisOptions | None) -> dict[str, Any] | None:
+    """The client-controllable subset of :class:`AnalysisOptions`.
+
+    Execution strategy (workers, cache placement) is the *server's*
+    business; only knobs that change analysis semantics travel.
+    """
+    if options is None:
+        return None
+    return {
+        "write_window": options.limits.write_window,
+        "read_window": options.limits.read_window,
+        "annotate": options.annotate,
+        "checks": sorted(options.checks) if options.checks is not None else None,
+        "config": {
+            "name": options.config.name,
+            "options": dict(options.config.options),
+        },
+    }
+
+
+def decode_options(
+    payload: dict[str, Any] | None, base: AnalysisOptions
+) -> AnalysisOptions:
+    """Overlay wire options onto the server's base options.
+
+    ``base`` supplies the execution strategy (workers, cache dir/cap);
+    the payload overrides the semantic knobs it carries.
+    """
+    import dataclasses
+
+    if not payload:
+        return dataclasses.replace(base)
+    options = dataclasses.replace(base)
+    options.limits = ScanLimits(
+        write_window=int(payload.get("write_window",
+                                     base.limits.write_window)),
+        read_window=int(payload.get("read_window",
+                                    base.limits.read_window)),
+    )
+    options.annotate = bool(payload.get("annotate", base.annotate))
+    checks = payload.get("checks")
+    options.checks = frozenset(checks) if checks is not None else None
+    config = payload.get("config")
+    if config is not None:
+        options.config = KernelConfig(
+            name=str(config.get("name", "wire")),
+            options={str(k): bool(v)
+                     for k, v in config.get("options", {}).items()},
+        )
+    return options
+
+
+def tree_key(source: KernelSource, options: AnalysisOptions) -> str:
+    """Content hash identifying one (tree, semantic options) pair.
+
+    The engine pool keys warm engines by it: the same tree submitted
+    with the same semantic options reuses the warm engine and its
+    incremental pairing index.
+    """
+    digest = hashlib.sha256()
+    fingerprint = {
+        "files": source.files,
+        "headers": source.headers,
+        "file_options": source.file_options,
+        "options": encode_options(options),
+    }
+    digest.update(json.dumps(fingerprint, sort_keys=True).encode())
+    return digest.hexdigest()
+
+
+def result_summary(result: AnalysisResult) -> dict[str, Any]:
+    """The response body for a finished job.
+
+    ``signature`` hashes the full observable signature (the same one the
+    fuzz differential oracle diffs), so two runs agree if and only if
+    their signature fields match.
+    """
+    from repro.fuzz.differential import run_signature
+
+    sig = run_signature(result)
+    canonical = json.dumps(sig, sort_keys=True, default=str)
+    return {
+        "files_with_barriers": result.files_with_barriers,
+        "files_analyzed": result.files_analyzed,
+        "files_failed": [
+            {"path": str(entry), "stage": entry.stage, "error": entry.error}
+            for entry in result.files_failed
+        ],
+        "total_barriers": result.total_barriers,
+        "pairings": sig["pairings"],
+        "unpaired": sig["unpaired"],
+        "findings": sig["findings"],
+        "patch_count": len(result.patches),
+        "elapsed_seconds": result.elapsed_seconds,
+        "stage_seconds": dict(result.stage_seconds),
+        "signature": hashlib.sha256(canonical.encode()).hexdigest(),
+    }

@@ -1,0 +1,117 @@
+"""Thread-safety of the engine's incremental path.
+
+The ``repro serve`` engine pool shares one warm :class:`OFenceEngine`
+between request-handler threads; ``reanalyze_file`` mutates the file
+cache, the pairing index, and the candidate memo, so unsynchronized
+concurrent calls corrupt state (or crash on dict-size-changed errors).
+The engine-level lock must serialize whole runs: hammering
+``reanalyze_file`` from 8 threads has to leave the engine in exactly
+the state a serial sequence of the same edits produces.
+"""
+
+import threading
+
+import pytest
+
+from repro.core.engine import KernelSource, OFenceEngine
+from repro.corpus import CorpusSpec, generate_corpus
+
+
+def signature(result):
+    return {
+        "sites": [site.barrier_id for site in result.sites],
+        "pairings": [p.describe() for p in result.pairing.pairings],
+        "unpaired": [s.barrier_id for s in result.pairing.unpaired],
+        "findings": [f.describe() for f in result.report.all_findings],
+        "failed": list(result.files_failed),
+    }
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_corpus(CorpusSpec.small(), seed=91)
+
+
+def _copy_source(corpus):
+    return KernelSource(
+        files=dict(corpus.source.files),
+        headers=dict(corpus.source.headers),
+        file_options=dict(corpus.source.file_options),
+    )
+
+
+class TestConcurrentReanalyze:
+    THREADS = 8
+    ROUNDS = 5
+
+    def test_eight_threads_match_serial(self, corpus):
+        engine = OFenceEngine(_copy_source(corpus))
+        engine.analyze()
+        analyzed = engine.selected_files()[0]
+        assert analyzed, "corpus must have analyzable files"
+
+        edits: dict[str, str] = {}
+        for i in range(self.THREADS):
+            path = analyzed[i % len(analyzed)]
+            if path in edits:
+                continue
+            text = corpus.source.files[path]
+            if i % 2 == 0 and "smp_wmb();" in text:
+                edits[path] = text.replace("smp_wmb();", "cpu_relax();")
+            else:
+                edits[path] = text + f"\n/* edited by thread set {i} */\n"
+
+        errors: list[BaseException] = []
+        barrier = threading.Barrier(self.THREADS)
+
+        def hammer(thread_id: int) -> None:
+            path = analyzed[thread_id % len(analyzed)]
+            new_text = edits[path]
+            try:
+                barrier.wait(timeout=30)
+                for _ in range(self.ROUNDS):
+                    result = engine.reanalyze_file(path, new_text)
+                    # Every run returns a structurally sound result.
+                    assert result.files_analyzed >= 0
+                    assert isinstance(result.sites, list)
+            except BaseException as exc:  # noqa: BLE001 - collected
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=hammer, args=(i,), daemon=True)
+            for i in range(self.THREADS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        assert not any(t.is_alive() for t in threads), "threads hung"
+        assert not errors, errors
+
+        # Findings parity: the hammered engine's state must equal a
+        # fresh serial analysis of the final tree.
+        final = engine.analyze()
+        fresh_source = _copy_source(corpus)
+        fresh_source.files.update(edits)
+        fresh = OFenceEngine(fresh_source).analyze()
+        assert signature(final) == signature(fresh)
+
+    def test_concurrent_full_analyze_is_serialized(self, corpus):
+        engine = OFenceEngine(_copy_source(corpus))
+        results: list = []
+        errors: list[BaseException] = []
+
+        def run():
+            try:
+                results.append(engine.analyze())
+            except BaseException as exc:  # noqa: BLE001 - collected
+                errors.append(exc)
+
+        threads = [threading.Thread(target=run) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        assert not errors, errors
+        first = signature(results[0])
+        assert all(signature(r) == first for r in results[1:])

@@ -111,6 +111,15 @@ class TestModeParity:
         again = engine.reanalyze_file(path)
         assert signature(again) == serial_signature
 
+    def test_serve_matches_serial(self, corpus, serial_signature):
+        """The full wire path — JSON encode → HTTP → queue → pool —
+        must be invisible too: the daemon hands back the engine's own
+        result object."""
+        from repro.core.engine import run_in_mode
+
+        served = run_in_mode("serve", _copy_source(corpus))
+        assert signature(served) == serial_signature
+
 
 def _copy_source(corpus):
     from repro.core.engine import KernelSource

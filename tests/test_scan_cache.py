@@ -110,6 +110,35 @@ class TestDiskCache:
         assert cache.load(key) is None
         assert cache.stats.rejected == 1
 
+    def test_corrupt_entry_counted_and_deleted(self, tmp_path):
+        cache = ScanCache(tmp_path)
+        key = "ab" * 32
+        cache.store(key, CachedScan("f.c", []))
+        path = cache._path(key)
+        path.write_bytes(b"\x80garbage that is not a pickle")
+        assert cache.load(key) is None
+        assert cache.stats.corrupt == 1
+        assert cache.stats.rejected == 1
+        assert not path.exists(), "corrupt entries must be deleted"
+        # Once gone, the next load is a plain miss, not another reject.
+        assert cache.load(key) is None
+        assert cache.stats.corrupt == 1
+
+    def test_stale_version_entry_deleted(self, tmp_path):
+        cache = ScanCache(tmp_path)
+        key = "ab" * 32
+        entry = {
+            "format": CACHE_FORMAT + 1,
+            "key": key,
+            "payload": CachedScan("f.c", []),
+        }
+        cache._path(key).parent.mkdir(parents=True, exist_ok=True)
+        cache._path(key).write_bytes(pickle.dumps(entry))
+        assert cache.load(key) is None
+        assert cache.stats.rejected == 1
+        assert cache.stats.corrupt == 0  # decodable, just stale
+        assert not cache._path(key).exists()
+
     def test_garbage_entry_rejected(self, tmp_path):
         cache = ScanCache(tmp_path)
         key = "ab" * 32
@@ -138,6 +167,68 @@ class TestDiskCache:
         cache._path(key).parent.mkdir(parents=True, exist_ok=True)
         cache._path(key).write_bytes(cache._path(other).read_bytes())
         assert cache.load(key) is None
+
+
+class TestSizeCap:
+    def _fill(self, cache, n, start=0):
+        keys = []
+        for i in range(start, start + n):
+            key = f"{i:02x}" * 32
+            cache.store(key, CachedScan(f"f{i}.c", []))
+            keys.append(key)
+        return keys
+
+    def test_unbounded_by_default(self, tmp_path):
+        cache = ScanCache(tmp_path)
+        keys = self._fill(cache, 8)
+        assert cache.stats.evicted == 0
+        assert all(cache.load(k) is not None for k in keys)
+
+    def test_cap_evicts_oldest_entries(self, tmp_path):
+        probe = ScanCache(tmp_path / "probe")
+        probe.store("aa" * 32, CachedScan("probe.c", []))
+        entry_size = probe._path("aa" * 32).stat().st_size
+
+        capped = ScanCache(tmp_path / "capped",
+                           max_bytes=int(entry_size * 3.5))
+        keys = self._fill(capped, 6)
+        assert capped.stats.evicted >= 2
+        assert capped.total_bytes <= capped.max_bytes
+        # The most recent entry always survives.
+        assert capped.load(keys[-1]) is not None
+
+    def test_load_refreshes_lru_position(self, tmp_path):
+        import os
+        import time as _time
+
+        probe = ScanCache(tmp_path / "probe")
+        probe.store("aa" * 32, CachedScan("probe.c", []))
+        entry_size = probe._path("aa" * 32).stat().st_size
+
+        cache = ScanCache(tmp_path / "capped",
+                          max_bytes=entry_size * 2 + entry_size // 2)
+        first, second = self._fill(cache, 2)
+        # Age both entries, then touch ``first``: it becomes the most
+        # recently used and must survive the next eviction.
+        for key in (first, second):
+            past = _time.time() - 1000
+            os.utime(cache._path(key), (past, past))
+        assert cache.load(first) is not None
+        self._fill(cache, 1, start=2)
+        assert cache.stats.evicted >= 1
+        assert cache.load(first) is not None
+        assert cache.load(second) is None
+
+    def test_total_bytes_recovered_at_init(self, tmp_path):
+        cache = ScanCache(tmp_path)
+        self._fill(cache, 3)
+        reopened = ScanCache(tmp_path)
+        assert reopened.total_bytes == cache.total_bytes > 0
+
+    def test_engine_option_reaches_cache(self, tmp_path):
+        options = AnalysisOptions(cache_dir=tmp_path, cache_max_bytes=123)
+        engine = OFenceEngine(KernelSource(files={}), options)
+        assert engine._disk_cache.max_bytes == 123
 
 
 class TestEngineCacheIntegration:
