@@ -40,6 +40,44 @@ from repro.analysis.barrier_scan import BarrierSite, ScanLimits
 #: Bump when the pickled payload layout or scan semantics change.
 CACHE_FORMAT = 2
 
+
+class _DirState:
+    """Shared per-directory coordination for :class:`ScanCache`.
+
+    Several cache instances can point at one directory — every engine in
+    the ``repro serve`` pool shares the daemon's ``--cache-dir`` — so
+    the write lock and the byte accounting must live with the
+    *directory*, not the instance: independent locks would let two
+    engines interleave writes to one tmp file, and independent byte
+    counters would each see only their own stores and drift away from
+    the real on-disk total that ``max_bytes`` eviction is judged
+    against.
+    """
+
+    __slots__ = ("lock", "total_bytes")
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.total_bytes = 0
+
+
+_dir_states: dict[str, _DirState] = {}
+_dir_states_lock = threading.Lock()
+
+
+def _dir_state_for(directory: Path) -> _DirState:
+    """The shared state for ``directory``, sizing it on first open."""
+    key = str(directory.resolve())
+    with _dir_states_lock:
+        state = _dir_states.get(key)
+        if state is None:
+            state = _DirState()
+            state.total_bytes = sum(
+                entry.stat().st_size for entry in directory.rglob("*.pkl")
+            )
+            _dir_states[key] = state
+        return state
+
 _INCLUDE_RE = re.compile(r'^\s*#\s*include\s*[<"]([^">]+)[">]', re.MULTILINE)
 
 
@@ -142,10 +180,10 @@ class ScanCache:
     max_bytes: int | None = None
 
     def __post_init__(self) -> None:
-        # Serializes size bookkeeping + eviction across the daemon's
-        # worker threads; entry reads/writes are atomic on their own.
-        self._lock = threading.Lock()
-        self._total_bytes = 0
+        # Writes, eviction, and byte bookkeeping are coordinated through
+        # the *directory's* shared state — every instance on the same
+        # path (the serve pool's engines) uses one lock and one counter.
+        self._state: _DirState | None = None
         if self.directory is not None:
             self.directory = Path(self.directory)
             try:
@@ -155,10 +193,7 @@ class ScanCache:
                 raise ValueError(
                     f"unusable scan cache directory {self.directory}: {exc}"
                 ) from exc
-            self._total_bytes = sum(
-                entry.stat().st_size
-                for entry in self.directory.rglob("*.pkl")
-            )
+            self._state = _dir_state_for(self.directory)
 
     @property
     def enabled(self) -> bool:
@@ -166,23 +201,28 @@ class ScanCache:
 
     @property
     def total_bytes(self) -> int:
-        return self._total_bytes
+        return self._state.total_bytes if self._state is not None else 0
 
     def _path(self, key: str) -> Path:
         assert self.directory is not None
         return self.directory / key[:2] / f"{key}.pkl"
 
     def _discard(self, target: Path, evicted: bool = False) -> None:
-        """Delete one entry, keeping the running total in sync."""
+        """Delete one entry, keeping the shared total in sync."""
+        assert self._state is not None
+        with self._state.lock:
+            self._discard_locked(target, evicted)
+
+    def _discard_locked(self, target: Path, evicted: bool = False) -> None:
+        assert self._state is not None
         try:
             size = target.stat().st_size
             target.unlink()
         except OSError:
             return
-        with self._lock:
-            self._total_bytes = max(0, self._total_bytes - size)
-            if evicted:
-                self.stats.evicted += 1
+        self._state.total_bytes = max(0, self._state.total_bytes - size)
+        if evicted:
+            self.stats.evicted += 1
 
     def load(self, key: str) -> CachedScan | None:
         if self.directory is None:
@@ -224,25 +264,46 @@ class ScanCache:
     def store(self, key: str, payload: CachedScan) -> None:
         if self.directory is None:
             return
+        assert self._state is not None
         target = self._path(key)
+        # The tmp name is unique per writer: concurrent stores of the
+        # same key from different engines must never interleave writes
+        # into one file and publish a corrupt entry.
+        tmp = target.with_name(
+            f"{target.name}.{os.getpid()}.{threading.get_ident()}.tmp"
+        )
         try:
-            old_size = target.stat().st_size if target.exists() else 0
             target.parent.mkdir(parents=True, exist_ok=True)
-            tmp = target.with_suffix(".tmp")
-            with open(tmp, "wb") as handle:
-                pickle.dump(
-                    {"format": CACHE_FORMAT, "key": key, "payload": payload},
-                    handle,
-                    protocol=pickle.HIGHEST_PROTOCOL,
-                )
-            new_size = tmp.stat().st_size
-            tmp.replace(target)
-            with self._lock:
-                self._total_bytes += new_size - old_size
+            # One writer at a time per directory keeps the replace and
+            # the byte accounting consistent when pooled engines race.
+            with self._state.lock:
+                old_size = target.stat().st_size if target.exists() else 0
+                with open(tmp, "wb") as handle:
+                    pickle.dump(
+                        {
+                            "format": CACHE_FORMAT,
+                            "key": key,
+                            "payload": payload,
+                        },
+                        handle,
+                        protocol=pickle.HIGHEST_PROTOCOL,
+                    )
+                new_size = tmp.stat().st_size
+                tmp.replace(target)
+                self._state.total_bytes += new_size - old_size
             self.stats.stores += 1
         except OSError:
-            return  # full/read-only disk never fails the analysis
-        if self.max_bytes is not None and self._total_bytes > self.max_bytes:
+            # Full/read-only disk never fails the analysis; drop any
+            # half-written tmp file rather than leaking it.
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            return
+        if (
+            self.max_bytes is not None
+            and self._state.total_bytes > self.max_bytes
+        ):
             self._evict(keep=target)
 
     def _evict(self, keep: Path) -> None:
@@ -252,18 +313,20 @@ class ScanCache:
         than one payload still leaves the newest result readable.
         """
         assert self.directory is not None and self.max_bytes is not None
-        try:
-            entries = sorted(
-                (
-                    (entry.stat().st_mtime, entry)
-                    for entry in self.directory.rglob("*.pkl")
-                    if entry != keep
-                ),
-                key=lambda pair: pair[0],
-            )
-        except OSError:
-            return
-        for _mtime, entry in entries:
-            if self._total_bytes <= self.max_bytes:
-                break
-            self._discard(entry, evicted=True)
+        assert self._state is not None
+        with self._state.lock:
+            try:
+                entries = sorted(
+                    (
+                        (entry.stat().st_mtime, entry)
+                        for entry in self.directory.rglob("*.pkl")
+                        if entry != keep
+                    ),
+                    key=lambda pair: pair[0],
+                )
+            except OSError:
+                return
+            for _mtime, entry in entries:
+                if self._state.total_bytes <= self.max_bytes:
+                    break
+                self._discard_locked(entry, evicted=True)

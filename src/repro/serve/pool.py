@@ -27,12 +27,16 @@ class PoolStats:
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    #: Analyze hits that found the warm engine's tree mutated by earlier
+    #: reanalyze deltas and had to converge it back to the submitted one.
+    reconverged: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return {
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "reconverged": self.reconverged,
         }
 
 
@@ -101,9 +105,12 @@ class EnginePool:
     ):
         """Yield the warm engine for ``key`` with its lock held.
 
-        Misses build a fresh engine via ``factory`` (or from
-        ``source``/``options``) and may evict the least-recently-used
-        entry.  An evicted engine still in use by an in-flight job keeps
+        On a hit, a provided ``source`` is authoritative: if earlier
+        reanalyze deltas drifted the warm engine's tree away from it,
+        the engine is converged back before being yielded (see
+        :meth:`_reconcile`).  Misses build a fresh engine via
+        ``factory`` (or from ``source``/``options``) and may evict the
+        least-recently-used entry.  An evicted engine still in use by an in-flight job keeps
         running — the job holds a reference — it just stops being warm
         for future requests.
         """
@@ -128,4 +135,49 @@ class EnginePool:
         with entry.lock:
             entry.uses += 1
             entry.last_used = time.monotonic()
+            if source is not None:
+                self._reconcile(entry, source, options)
             yield entry.engine
+
+    def _reconcile(
+        self,
+        entry: PooledEngine,
+        source: KernelSource,
+        options: AnalysisOptions | None,
+    ) -> None:
+        """Undo reanalyze drift before an analyze reuses a warm engine.
+
+        ``reanalyze_file`` mutates the pooled engine's tree in place
+        while the entry stays keyed by the hash of the *originally
+        submitted* content, so an analyze hit may find an engine whose
+        tree no longer matches the submission.  Serving that engine
+        as-is would return results for the delta-mutated tree, not the
+        one the client sent.  Convergence goes file-by-file through
+        ``reanalyze_file`` so unchanged files keep their warm scan
+        results; the caller holds ``entry.lock``.
+        """
+        engine = entry.engine
+        current = engine.source
+        if (
+            current.files == source.files
+            and current.headers == source.headers
+            and current.file_options == source.file_options
+        ):
+            return
+        self.stats.reconverged += 1
+        if (
+            current.headers != source.headers
+            or current.file_options != source.file_options
+        ):
+            # Deltas only ever touch ``files``; anything else diverging
+            # means the engine is not trustworthy — rebuild it cold.
+            entry.engine = OFenceEngine(
+                source, options if options is not None else engine.options
+            )
+            return
+        for path in [p for p in current.files if p not in source.files]:
+            del current.files[path]
+            engine.reanalyze_file(path)
+        for path, text in source.files.items():
+            if current.files.get(path) != text:
+                engine.reanalyze_file(path, text)

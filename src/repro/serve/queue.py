@@ -5,7 +5,9 @@ threads (owned by the service) pull *batches*: the head job plus any
 queued ``reanalyze`` jobs for the same tree, so a burst of delta
 submissions against one warm engine is coalesced into a single
 pool-acquisition — one lock round-trip, maximal reuse of the incremental
-pairing index, FIFO order preserved within the batch.
+pairing index, FIFO order preserved within the batch.  Coalescing only
+reaches past jobs for *other* trees, so same-tree submission order is
+preserved across batches as well.
 
 When the queue is full, :meth:`JobQueue.submit` raises
 :class:`QueueFull`; the HTTP layer translates it into ``503`` with a
@@ -151,11 +153,15 @@ class JobQueue:
     def next_batch(self) -> list[Job] | None:
         """Block for work; None when the queue is stopped and empty.
 
-        The batch is the head job plus every other *queued* reanalyze
-        job targeting the same tree (original order preserved, capped by
+        The batch is the head job plus queued reanalyze jobs targeting
+        the same tree (original order preserved, capped by
         ``batch_limit``) — those will run back-to-back on one warm
-        engine.  Full-analyze jobs always batch alone: they (re)build an
-        engine and dominate the batch anyway.
+        engine.  Coalescing only skips over jobs for *other* trees: the
+        first queued job for the head's tree that is not a coalescible
+        reanalyze (an analyze resetting that tree, say) is an ordering
+        barrier — deltas submitted after it must not run before it, so
+        collection stops there.  Full-analyze jobs always batch alone:
+        they (re)build an engine and dominate the batch anyway.
         """
         with self._cond:
             while not self._pending:
@@ -173,8 +179,10 @@ class JobQueue:
                         and job.tree_key == head.tree_key
                     ):
                         batch.append(job)
-                    else:
-                        rest.append(job)
+                        continue
+                    rest.append(job)
+                    if job.tree_key == head.tree_key:
+                        break  # same-tree barrier: stop coalescing
                 self._pending.extendleft(reversed(rest))
             self._in_flight += len(batch)
             for job in batch:

@@ -287,6 +287,10 @@ class _Handler(BaseHTTPRequestHandler):
               content_type: str = "application/json",
               retry_after: float | None = None) -> None:
         payload = body.encode()
+        # Remember what actually went on the wire: handlers send non-200
+        # statuses directly (failed jobs render 500, a draining healthz
+        # 503), and ``_dispatch`` must not report those as 200s.
+        self._status_sent = status
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(payload)))
@@ -313,12 +317,18 @@ class _Handler(BaseHTTPRequestHandler):
             raise ServeError(400, "JSON body must be an object")
         return payload
 
+    def _not_found(self, path: str) -> None:
+        raise ServeError(404, f"no such endpoint {path}")
+
     def _job_response(self, job: Job, query: dict) -> None:
         if query.get("wait", ["0"])[0] in ("1", "true"):
-            timeout = min(
-                float(query.get("timeout", [self.MAX_WAIT])[0]),
-                self.MAX_WAIT,
-            )
+            raw = query.get("timeout", [self.MAX_WAIT])[0]
+            try:
+                timeout = min(float(raw), self.MAX_WAIT)
+            except (TypeError, ValueError):
+                raise ServeError(
+                    400, f"invalid timeout value {raw!r}"
+                ) from None
             job.wait(timeout)
         body = job.describe()
         if job.status == "done" and job.result is not None:
@@ -330,10 +340,14 @@ class _Handler(BaseHTTPRequestHandler):
         import time as _time
 
         start = _time.perf_counter()
+        self._status_sent: int | None = None
         status = 500
         try:
             handler()
-            status = 200
+            # Whatever the handler put on the wire (200, a failed job's
+            # 500, a draining healthz 503) is what metrics record.
+            status = self._status_sent if self._status_sent is not None \
+                else 200
         except ServeError as exc:
             status = exc.status
             self._send_json(
@@ -368,7 +382,7 @@ class _Handler(BaseHTTPRequestHandler):
                 "reanalyze",
             )
         else:
-            self._send_json(404, {"error": f"no such endpoint {url.path}"})
+            self._dispatch(lambda: self._not_found(url.path), "unknown")
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
         url = urlparse(self.path)
@@ -410,7 +424,7 @@ class _Handler(BaseHTTPRequestHandler):
 
             self._dispatch(render_health, "healthz")
         else:
-            self._send_json(404, {"error": f"no such endpoint {url.path}"})
+            self._dispatch(lambda: self._not_found(url.path), "unknown")
 
 
 class AnalysisServer:

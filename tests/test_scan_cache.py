@@ -231,6 +231,64 @@ class TestSizeCap:
         assert engine._disk_cache.max_bytes == 123
 
 
+class TestSharedDirectory:
+    """Pooled engines share one ``--cache-dir``: instances on the same
+    directory must agree on byte accounting and never corrupt entries
+    when they store concurrently."""
+
+    def test_instances_share_byte_accounting(self, tmp_path):
+        a = ScanCache(tmp_path)
+        b = ScanCache(tmp_path)
+        a.store("ab" * 32, CachedScan("a.c", []))
+        b.store("cd" * 32, CachedScan("b.c", []))
+        assert a.total_bytes == b.total_bytes > 0
+        # Per-instance stats stay per-instance.
+        assert a.stats.stores == b.stats.stores == 1
+
+    def test_cap_enforced_across_instances(self, tmp_path):
+        probe = ScanCache(tmp_path / "probe")
+        probe.store("aa" * 32, CachedScan("probe.c", []))
+        entry_size = probe._path("aa" * 32).stat().st_size
+
+        shared = tmp_path / "shared"
+        cap = int(entry_size * 2.5)
+        a = ScanCache(shared, max_bytes=cap)
+        b = ScanCache(shared, max_bytes=cap)
+        for i, cache in enumerate([a, b, a, b, a, b]):
+            cache.store(f"{i:02x}" * 32, CachedScan(f"f{i}.c", []))
+        # Each instance only wrote 3 entries — under the cap on its
+        # own — so evictions prove the *shared* total was consulted.
+        assert a.stats.evicted + b.stats.evicted >= 3
+        assert a.total_bytes <= cap
+
+    def test_concurrent_same_key_stores_stay_loadable(self, tmp_path):
+        import threading
+
+        key = "ab" * 32
+        caches = [ScanCache(tmp_path) for _ in range(4)]
+        start = threading.Barrier(len(caches))
+
+        def hammer(cache, i):
+            start.wait(timeout=10)
+            for round_ in range(25):
+                cache.store(key, CachedScan(f"f{i}-{round_}.c", []))
+
+        threads = [
+            threading.Thread(target=hammer, args=(cache, i))
+            for i, cache in enumerate(caches)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        loaded = ScanCache(tmp_path).load(key)
+        assert loaded is not None, "racing stores published a bad entry"
+        assert not list(tmp_path.rglob("*.tmp")), "leaked tmp files"
+        # The shared running total matches what is actually on disk.
+        on_disk = sum(p.stat().st_size for p in tmp_path.rglob("*.pkl"))
+        assert caches[0].total_bytes == on_disk
+
+
 class TestEngineCacheIntegration:
     def files(self):
         return {"w.c": WRITER, "r.c": READER}

@@ -44,6 +44,13 @@ READER = (
 )
 
 
+#: READER with the flag check moved before the barrier: a known finding.
+BUGGY_READER = READER.replace(
+    "\tif (!p->flag) return;\n\tsmp_rmb();",
+    "\tsmp_rmb();\n\tif (!p->flag) return;",
+)
+
+
 def small_source() -> KernelSource:
     return KernelSource(files={"w.c": WRITER, "r.c": READER})
 
@@ -133,6 +140,37 @@ class TestEnginePool:
         assert pool.get("b") is None  # "b" was least recently used
         assert pool.get("a") is not None
 
+    def test_analyze_hit_converges_reanalyze_drift(self):
+        """A warm engine mutated by deltas must not serve the old tree.
+
+        ``reanalyze_file`` rewrites the pooled engine's source in place
+        while the entry stays keyed by the original content hash; a
+        subsequent analyze hit for that key has to get results for the
+        tree it submitted, not the drifted one.
+        """
+        from repro.core.engine import AnalysisOptions
+        from repro.fuzz.differential import run_signature
+
+        pool = EnginePool(capacity=2)
+        options = AnalysisOptions()
+        key = tree_key(small_source(), options)
+        with pool.acquire(key, source=small_source(),
+                          options=options) as engine:
+            baseline = engine.analyze()
+            drifted = engine.reanalyze_file("r.c", BUGGY_READER)
+            engine.reanalyze_file("extra.c", WRITER)  # added file
+        assert run_signature(drifted) != run_signature(baseline)
+        with pool.acquire(key, source=small_source(),
+                          options=options) as engine:
+            assert engine.source.files == small_source().files
+            again = engine.analyze()
+        assert run_signature(again) == run_signature(baseline)
+        assert pool.stats.reconverged == 1
+        # A clean hit does not count as a convergence.
+        with pool.acquire(key, source=small_source(), options=options):
+            pass
+        assert pool.stats.reconverged == 1
+
     def test_same_key_serialized_different_keys_concurrent(self):
         pool = EnginePool(capacity=4)
         order: list[str] = []
@@ -192,6 +230,26 @@ class TestJobQueue:
         assert all(j.batch_size == 2 for j in batch)
         # The interleaved job kept its place for the next pull.
         assert queue.next_batch()[0] is middle
+
+    def test_same_tree_barrier_stops_coalescing(self):
+        """Coalescing must not pull deltas past a same-tree analyze.
+
+        Deltas queued *behind* an analyze of the same tree would
+        otherwise run before it, diverging the warm engine's state from
+        submission order.  Other trees' jobs are still skipped over.
+        """
+        queue = JobQueue(capacity=8, batch_limit=8)
+        first = _job(key="same")
+        other = _job(key="other")
+        barrier = _job(kind="analyze", key="same")
+        later = _job(key="same")
+        for job in (first, other, barrier, later):
+            queue.submit(job)
+        pulled = [queue.next_batch() for _ in range(4)]
+        # Original order preserved past the stopped collection.
+        assert [batch[0] for batch in pulled] == \
+            [first, other, barrier, later]
+        assert all(len(batch) == 1 for batch in pulled)
 
     def test_analyze_jobs_never_batch(self):
         queue = JobQueue(capacity=8)
@@ -330,16 +388,24 @@ class TestEndpoints:
     def test_reanalyze_delta(self, client):
         submitted = client.analyze(small_source())
         key = submitted["tree_key"]
-        # Reorder the reader's check after the barrier: a known finding.
-        buggy = READER.replace(
-            "\tif (!p->flag) return;\n\tsmp_rmb();",
-            "\tsmp_rmb();\n\tif (!p->flag) return;",
-        )
-        response = client.reanalyze(key, [("r.c", buggy)])
+        response = client.reanalyze(key, [("r.c", BUGGY_READER)])
         assert response["status"] == "done"
         assert response["result"]["findings"]
         assert response["result"]["signature"] != \
             submitted["result"]["signature"]
+
+    def test_analyze_after_reanalyze_serves_submitted_tree(self, client):
+        """Deltas against a warm engine must not leak into later
+        analyzes of the original tree (same content hash, mutated
+        engine)."""
+        original = client.analyze(small_source())
+        client.reanalyze(original["tree_key"], [("r.c", BUGGY_READER)])
+        again = client.analyze(small_source())
+        assert again["tree_key"] == original["tree_key"]
+        assert again["result"]["signature"] == \
+            original["result"]["signature"]
+        assert again["result"]["findings"] == \
+            original["result"]["findings"]
 
     def test_reanalyze_unknown_tree_409(self, client):
         with pytest.raises(ClientError) as excinfo:
@@ -373,6 +439,35 @@ class TestEndpoints:
         with pytest.raises(urllib.error.HTTPError) as excinfo:
             urllib.request.urlopen(request, timeout=30)
         assert excinfo.value.code == 400
+
+    def test_bad_wait_timeout_400(self, client):
+        submitted = client.analyze(small_source())
+        with pytest.raises(ClientError) as excinfo:
+            client._request(
+                "GET",
+                f"/v1/jobs/{submitted['job_id']}?wait=1&timeout=soon",
+            )
+        assert excinfo.value.status == 400
+        assert "timeout" in str(excinfo.value)
+
+    def test_metrics_record_actual_statuses(self, client):
+        submitted = client.analyze(small_source())
+        with pytest.raises(ClientError):
+            client.job("job-999999")  # 404
+        with pytest.raises(ClientError):
+            client._request("GET", "/v1/nope")  # unrouted 404
+        with pytest.raises(ClientError):
+            client._request(
+                "GET",
+                f"/v1/jobs/{submitted['job_id']}?wait=1&timeout=x",
+            )
+        counters = client.metrics()["counters"]
+        assert counters.get("http.analyze.200", 0) >= 1
+        assert counters.get("http.jobs.404", 0) >= 1
+        assert counters.get("http.unknown.404", 0) >= 1
+        assert counters.get("http.jobs.400", 0) >= 1
+        # Nothing above may be misreported as a jobs 200.
+        assert counters.get("http.jobs.200", 0) == 0
 
     def test_metrics_json_and_prometheus(self, client):
         client.analyze(small_source())
