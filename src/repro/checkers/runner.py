@@ -81,8 +81,14 @@ class CheckerSuite:
     the "annotate" check.
     """
 
+    #: Checkers that need per-function CFGs; these are the ones a
+    #: ``shard_runner`` may execute out-of-process (the rest are cheap
+    #: and identity-bound, so they always run inline).
+    CFG_CHECKS = ("reread", "seqcount")
+
     def __init__(self, cfg_lookup=None, annotate: bool = True,
-                 checks: set[str] | frozenset[str] | None = None):
+                 checks: set[str] | frozenset[str] | None = None,
+                 shard_runner=None):
         self._cfg_lookup = cfg_lookup
         if checks is None:
             checks = set(ALL_CHECKS)
@@ -93,6 +99,12 @@ class CheckerSuite:
             raise ValueError(f"unknown checks: {sorted(unknown)}")
         self._checks = frozenset(checks)
         self._annotate = "annotate" in self._checks
+        #: ``shard_runner(check_list, wanted) -> {checker: ("ok",
+        #: result) | ("err", message)} | None`` — the engine's executor
+        #: hook.  A checker absent from the dict (or a ``None`` return)
+        #: falls back to the inline path below; "err" reproduces the
+        #: serial ``_guarded`` outcome for a checker that raised.
+        self._shard_runner = shard_runner
 
     def enabled(self, name: str) -> bool:
         return name in self._checks
@@ -110,12 +122,27 @@ class CheckerSuite:
         for pairing in result.pairings:
             check_list.extend(_broadcast_slices(pairing))
 
+        shard: dict = {}
+        if self._shard_runner is not None:
+            wanted = [c for c in self.CFG_CHECKS if self.enabled(c)]
+            if wanted:
+                shard = self._shard_runner(check_list, tuple(wanted)) or {}
+
         claimed: set = set()
         if self.enabled("reread"):
-            reread = RepeatedReadChecker(self._cfg_lookup)
-            reread_result = self._guarded(
-                report, "reread", lambda: reread.check(check_list)
-            )
+            outcome = shard.get("reread")
+            if outcome is not None and outcome[0] == "ok":
+                reread_result = outcome[1]
+            elif outcome is not None:
+                report.checker_failures.append(
+                    CheckerFailure("reread", outcome[1])
+                )
+                reread_result = None
+            else:
+                reread = RepeatedReadChecker(self._cfg_lookup)
+                reread_result = self._guarded(
+                    report, "reread", lambda: reread.check(check_list)
+                )
             if reread_result is not None:
                 report.ordering_findings.extend(reread_result.findings)
                 claimed = reread_result.claimed
@@ -138,13 +165,24 @@ class CheckerSuite:
             )
 
         if self.enabled("seqcount"):
-            seqcount = SeqcountChecker(self._cfg_lookup)
-            report.ordering_findings.extend(
-                self._guarded(
-                    report, "seqcount",
-                    lambda: seqcount.check(result.pairings),
-                ) or []
-            )
+            outcome = shard.get("seqcount")
+            if outcome is not None and outcome[0] == "ok":
+                # Shards cover ``check_list``, whose extra entries
+                # (broadcast slices) are non-multi and contribute no
+                # seqcount findings — same output as ``result.pairings``.
+                report.ordering_findings.extend(outcome[1])
+            elif outcome is not None:
+                report.checker_failures.append(
+                    CheckerFailure("seqcount", outcome[1])
+                )
+            else:
+                seqcount = SeqcountChecker(self._cfg_lookup)
+                report.ordering_findings.extend(
+                    self._guarded(
+                        report, "seqcount",
+                        lambda: seqcount.check(result.pairings),
+                    ) or []
+                )
 
         report.ordering_findings = _dedupe_findings(
             report.ordering_findings

@@ -32,8 +32,10 @@ from repro.corpus import CorpusSpec, generate_corpus, score_run
 def _add_perf_args(parser: argparse.ArgumentParser) -> None:
     """Performance pipeline flags shared by analyze/corpus/report."""
     parser.add_argument("--workers", type=int, default=None, metavar="N",
-                        help="worker processes for the scan stage "
-                             "(default: serial)")
+                        help="worker processes for the CPU-bound stages "
+                             "(scan, pairing candidates, CFG checkers); "
+                             "runs in one process share a persistent "
+                             "warm pool (default: serial)")
     parser.add_argument("--cache-dir", type=Path, default=None,
                         metavar="DIR",
                         help="content-addressed on-disk scan cache "
@@ -137,6 +139,11 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="max reanalyze jobs coalesced per batch")
     serve.add_argument("--job-workers", type=int, default=1,
                        help="concurrent job-executing threads")
+    serve.add_argument("--exec-workers", type=int, default=None,
+                       metavar="N",
+                       help="process-pool workers shared by all warm "
+                            "engines for CPU-bound stages (default: "
+                            "--workers; 0/1 disables the pool)")
     _add_perf_args(serve)
 
     submit = sub.add_parser(
@@ -312,11 +319,16 @@ def cmd_serve(args) -> int:
         queue_capacity=args.queue_capacity,
         batch_limit=args.batch_limit,
         workers=args.job_workers,
+        exec_workers=args.exec_workers,
     )
     server.start()
+    executor = server.service.executor
+    exec_note = (
+        f" exec-workers={executor.workers}" if executor is not None else ""
+    )
     print(f"ofence-serve listening on {server.url} "
           f"(pool={args.pool_size} queue={args.queue_capacity} "
-          f"workers={args.job_workers})", flush=True)
+          f"workers={args.job_workers}{exec_note})", flush=True)
     stop.wait()
     print("draining: finishing accepted jobs ...", flush=True)
     drained = server.drain(timeout=120)

@@ -28,7 +28,7 @@ The pipeline is incremental end to end:
 from __future__ import annotations
 
 import dataclasses
-import multiprocessing
+import itertools
 import re
 import tempfile
 import threading
@@ -176,7 +176,9 @@ class AnalysisOptions:
     limits: ScanLimits = field(default_factory=ScanLimits)
     config: KernelConfig = field(default_factory=default_config)
     annotate: bool = True
-    #: Worker processes for the parse/scan stage (None or 1 = serial).
+    #: Worker processes for the CPU-bound stages (None or 1 = serial).
+    #: With no explicit ``executor``, values > 1 use the process-wide
+    #: persistent pool (``repro.exec.get_default_executor``).
     workers: int | None = None
     #: Checker selection (names from repro.checkers.runner.ALL_CHECKS);
     #: None = all (minus "annotate" when ``annotate`` is False).
@@ -187,6 +189,15 @@ class AnalysisOptions:
     #: are evicted past it (None = unbounded).  Long-running daemons set
     #: this so ``--cache-dir`` does not grow without bound.
     cache_max_bytes: int | None = None
+    #: A shared :class:`repro.exec.AnalysisExecutor` to dispatch the
+    #: scan/pair/check stages to.  None + ``workers > 1`` falls back to
+    #: the process-wide default pool.  Excluded from comparison/repr:
+    #: the executor is an execution vehicle, not a semantic knob.
+    executor: object | None = field(default=None, repr=False, compare=False)
+    #: Minimum work items (pending scans, unmemoized write barriers,
+    #: check entries) before a stage is sharded across the executor;
+    #: below it the IPC overhead beats the parallel win.
+    exec_min_batch: int = 8
 
 
 @dataclass
@@ -233,50 +244,10 @@ class AnalysisResult:
         return self.pairing.coverage(self.total_barriers)
 
 
-#: Per-worker context installed by the pool initializer: the defines,
-#: header table, and scan limits shared by every job, shipped once per
-#: worker instead of once per file.
-_WORKER_CTX: tuple[dict[str, str], dict[str, str], ScanLimits] | None = None
-
-
-def _init_scan_worker(
-    defines: dict[str, str], headers: dict[str, str],
-    limits: tuple[int, int],
-) -> None:
-    global _WORKER_CTX
-    _WORKER_CTX = (
-        defines, headers,
-        ScanLimits(write_window=limits[0], read_window=limits[1]),
-    )
-
-
-def _scan_one(job: tuple[str, str]) -> CachedScan:
-    """Worker: parse + scan one file, returning the slim payload.
-
-    Only the barrier sites (with their access records) travel back to
-    the parent — never the scanner, AST, or CFGs — so the pickle cost
-    per file is proportional to its barriers, not its size.
-    """
-    path, text = job
-    defines, headers, limits = _WORKER_CTX
-    try:
-        unit = parse_source(
-            text, path, defines=defines,
-            include_resolver=lambda name, sys_inc: headers.get(name),
-        )
-        registry = TypeRegistry()
-        registry.add_unit(unit)
-        scanner = BarrierScanner(
-            unit, registry=registry, limits=limits, filename=path
-        )
-        return CachedScan(filename=path, sites=scanner.scan())
-    except ParseError as exc:
-        return CachedScan(filename=path, sites=[], parse_error=str(exc))
-    except Exception as exc:  # never-raise guarantee: crash -> failure entry
-        return CachedScan(
-            filename=path, sites=[],
-            parse_error=f"{_INTERNAL_PREFIX}{type(exc).__name__}: {exc}",
-        )
+#: Unique pairing-index namespace per engine instance; worker processes
+#: keep one warm :class:`PairingIndex` per namespace, so two engines
+#: sharing an executor never cross-contaminate each other's indexes.
+_EXEC_NS_IDS = itertools.count(1)
 
 
 class OFenceEngine:
@@ -307,6 +278,11 @@ class OFenceEngine:
         #: incremental re-analyses only rebuild diffs the edit changed.
         self._patch_memo: dict[str, tuple] = {}
         self._profile: StageProfile | None = None
+        #: Worker-side pairing-index namespace (see ``_EXEC_NS_IDS``).
+        self._exec_ns = f"eng{next(_EXEC_NS_IDS)}"
+        #: (token, ExecContext) memo so warm re-runs skip re-hashing the
+        #: header table.
+        self._ctx_memo: tuple | None = None
 
     # -- selection --------------------------------------------------------------
 
@@ -339,12 +315,17 @@ class OFenceEngine:
         with profile.stage("scan"):
             pending = self._refresh_cache(selected, profile)
             if pending:
-                workers = self.options.workers
-                if workers is not None and workers > 1 and len(pending) > 1:
-                    self._parallel_scan(pending, workers)
+                executor = (
+                    self._active_executor() if len(pending) > 1 else None
+                )
+                if executor is not None:
+                    pending_left = self._executor_scan(
+                        pending, executor, profile
+                    )
                 else:
-                    for path, key in pending:
-                        self._scan_single(path, key)
+                    pending_left = pending
+                for path, key in pending_left:
+                    self._scan_single(path, key)
             profile.count("scan.scanned", len(pending))
         failed = self._failed_files(selected)
 
@@ -410,7 +391,9 @@ class OFenceEngine:
                 updated = self._sync_pairing_index(selected)
             profile.count("pair.files_updated", updated)
             pairer = PairingEngine(index=self._pairing_index)
-            pairing = pairer.pair()
+            pairing = pairer.pair(
+                candidate_provider=self._candidate_provider(pairer, profile)
+            )
             for name, value in pairer.stats.items():
                 profile.count(f"pair.{name}", value)
 
@@ -419,6 +402,7 @@ class OFenceEngine:
                 self._cfg_lookup,
                 annotate=self.options.annotate,
                 checks=self.options.checks,
+                shard_runner=self._check_shard_runner(profile),
             )
             report = suite.run(pairing)
 
@@ -525,40 +509,275 @@ class OFenceEngine:
             and cached.parse_error is not None
         ]
 
-    def _parallel_scan(
-        self, pending: list[tuple[str, str]], workers: int
-    ) -> None:
-        """Fan the per-file parse+scan across worker processes.
+    # -- executor offload ---------------------------------------------------
 
-        Workers return slim :class:`CachedScan` payloads; the shared
-        context (defines, headers, limits) ships once per worker via the
-        pool initializer.  Jobs are ordered largest-file-first and
-        chunked several chunks per worker, so stragglers balance out.
+    def _active_executor(self):
+        """The executor this engine dispatches to, or None for serial.
+
+        An explicit ``options.executor`` wins (the serve daemon and the
+        run-mode registry inject shared pools this way); otherwise
+        ``workers > 1`` selects the process-wide default pool, always
+        built with an explicit start method.
+        """
+        executor = self.options.executor
+        if executor is not None:
+            return None if getattr(executor, "closed", False) else executor
+        workers = self.options.workers
+        if workers is not None and workers > 1:
+            from repro.exec.executor import get_default_executor
+
+            return get_default_executor(workers)
+        return None
+
+    def _exec_context(self):
+        """Epoch-tagged shared context (defines/headers/limits), memoized
+        so warm re-runs skip re-hashing the header table."""
+        from repro.exec.protocol import ExecContext
+
+        defines = self.options.config.defines()
+        token = (
+            tuple(sorted(defines.items())),
+            tuple(sorted(
+                (name, hash(text))
+                for name, text in self.source.headers.items()
+            )),
+            self.options.limits.write_window,
+            self.options.limits.read_window,
+        )
+        if self._ctx_memo is not None and self._ctx_memo[0] == token:
+            return self._ctx_memo[1]
+        ctx = ExecContext.build(
+            defines, self.source.headers,
+            self.options.limits.write_window,
+            self.options.limits.read_window,
+        )
+        self._ctx_memo = (token, ctx)
+        return ctx
+
+    def _executor_scan(
+        self, pending: list[tuple[str, str]], executor,
+        profile: StageProfile,
+    ) -> list[tuple[str, str]]:
+        """Fan the per-file parse+scan across the persistent pool.
+
+        Workers return slim :class:`CachedScan` payloads, streamed back
+        as each batch finishes; jobs go largest-file-first so stragglers
+        balance out.  Files the pool failed to deliver (worker error,
+        timeout, closed executor) are returned for the serial path — the
+        offload degrades, never breaks, a run.
         """
         jobs = sorted(
-            ((path, self.source.files[path]) for path, _ in pending),
+            (
+                (path, self.source.files[path], key)
+                for path, key in pending
+            ),
             key=lambda job: len(job[1]), reverse=True,
         )
-        keys = dict(pending)
-        limits = (
-            self.options.limits.write_window, self.options.limits.read_window
-        )
-        chunksize = max(1, len(jobs) // (workers * 4))
-        with multiprocessing.Pool(
-            workers, initializer=_init_scan_worker,
-            initargs=(self.options.config.defines(), self.source.headers,
-                      limits),
-        ) as pool:
-            for payload in pool.imap_unordered(
-                _scan_one, jobs, chunksize=chunksize
-            ):
-                key = keys[payload.filename]
-                self._file_cache[payload.filename] = FileAnalysis(
-                    filename=payload.filename, scanner=None,
-                    sites=payload.sites, parse_error=payload.parse_error,
-                    key=key,
+        done: set[str] = set()
+
+        def absorb(payload: CachedScan, key: str) -> None:
+            self._file_cache[payload.filename] = FileAnalysis(
+                filename=payload.filename, scanner=None,
+                sites=payload.sites, parse_error=payload.parse_error,
+                key=key,
+            )
+            self._disk_cache.store(key, payload)
+            done.add(payload.filename)
+
+        with profile.stage("scan.exec"):
+            stats = executor.scan(jobs, self._exec_context(), absorb)
+        profile.count("exec.dispatched", stats["completed"])
+        profile.count("exec.batches", stats["batches"])
+        profile.count("exec.scan_warm_hits", stats["worker_hits"])
+        if stats["respawns"]:
+            profile.count("exec.respawns", stats["respawns"])
+        profile.count("exec.workers_used", stats["workers_used"])
+        return [(path, key) for path, key in pending if path not in done]
+
+    def _candidate_provider(self, pairer, profile: StageProfile):
+        """Pairing-offload hook for ``PairingEngine.pair`` (or None)."""
+        executor = self._active_executor()
+        if executor is None:
+            return None
+
+        def provide(missing):
+            if len(missing) < max(1, self.options.exec_min_batch):
+                return None
+            index = self._pairing_index
+            refs: list[tuple[str, int]] = []
+            for site in missing:
+                path, pos = index.order_key(site)
+                file_sites = index.file_sites(path)
+                if pos >= len(file_sites) or file_sites[pos] is not site:
+                    return None  # site outside the index: pair serially
+                refs.append((path, pos))
+            state: dict[str, tuple] = {}
+            for path in index.files():
+                cached = self._file_cache.get(path)
+                if cached is None or cached.key is None:
+                    return None
+                state[path] = (cached.key, index.file_sites(path))
+            with profile.stage("pair.exec"):
+                raw, info = executor.pair_candidates(
+                    self._exec_ns, state, refs,
+                    pairer._config_token(), self._exec_context(),
                 )
-                self._disk_cache.store(key, payload)
+            if info["shards"]:
+                profile.count("pair.shards", info["shards"])
+            if raw is None:
+                return None
+            from repro.pairing.algorithm import _Candidate
+
+            out: dict = {}
+            for site, (_ref, cand) in zip(missing, zip(refs, raw)):
+                if cand is None:
+                    out[site.barrier_id] = None
+                    continue
+                mpath, mpos, o1, o2, weight = cand
+                match_sites = index.file_sites(mpath)
+                if mpos >= len(match_sites):
+                    return None
+                out[site.barrier_id] = _Candidate(
+                    site, match_sites[mpos], o1, o2, weight
+                )
+            profile.count("exec.dispatched", len(refs))
+            profile.count("pair.candidates_remote", info["computed"])
+            return out
+
+        return provide
+
+    def _check_shard_runner(self, profile: StageProfile):
+        """Checker-offload hook for :class:`CheckerSuite` (or None)."""
+        executor = self._active_executor()
+        if executor is None:
+            return None
+
+        def run_shards(check_list, wanted):
+            if len(check_list) < max(1, self.options.exec_min_batch):
+                return None
+            from repro.exec.protocol import CheckEntry
+
+            index = self._pairing_index
+            entries: list[CheckEntry] = []
+            paths: set[str] = set()
+            for entry_idx, pairing in enumerate(check_list):
+                refs: list[tuple[str, int]] = []
+                for barrier in pairing.barriers:
+                    path, pos = index.order_key(barrier)
+                    file_sites = index.file_sites(path)
+                    if (
+                        pos >= len(file_sites)
+                        or file_sites[pos] is not barrier
+                    ):
+                        return None
+                    refs.append((path, pos))
+                    paths.add(path)
+                entries.append(CheckEntry(
+                    entry=entry_idx, barrier_refs=refs,
+                    common_objects=list(pairing.common_objects),
+                    weight=pairing.weight,
+                ))
+            files: dict[str, tuple[str, str]] = {}
+            for path in sorted(paths):
+                cached = self._file_cache.get(path)
+                text = self.source.files.get(path)
+                if cached is None or cached.key is None or text is None:
+                    return None
+                files[path] = (cached.key, text)
+            with profile.stage("check.exec"):
+                raw, info = executor.check_shards(
+                    files, entries, tuple(wanted), self._exec_context()
+                )
+            if info["shards"]:
+                profile.count("check.shards", info["shards"])
+            if raw is None:
+                return None
+            out: dict = {}
+            for name in wanted:
+                shard = raw.get(name)
+                if shard is None:
+                    continue  # that checker falls back to inline
+                if shard[0] == "checkerfail":
+                    out[name] = ("err", shard[1])
+                    continue
+                findings = []
+                for wire in shard[1]:
+                    finding = self._decode_finding(wire, check_list)
+                    if finding is None:
+                        return None  # ref mismatch: run inline instead
+                    findings.append(finding)
+                if name == "reread":
+                    from repro.checkers.reread import RereadResult
+
+                    claimed = {
+                        (id(check_list[entry]), key)
+                        for entry, key in shard[2]
+                        if entry < len(check_list)
+                    }
+                    out[name] = ("ok", RereadResult(
+                        findings=findings, claimed=claimed
+                    ))
+                else:
+                    out[name] = ("ok", findings)
+            profile.count("exec.dispatched", len(entries))
+            return out
+
+        return run_shards
+
+    def _decode_finding(self, wire, check_list):
+        """Re-bind a :class:`FindingWire` to parent-side objects.
+
+        Identity matters downstream (the annotate checker keys buggy
+        pairings by ``id``, the patch generator walks ``use.access``),
+        so every ref must resolve against this engine's cached sites;
+        any miss aborts the whole shard decode and the checker re-runs
+        inline.
+        """
+        from repro.checkers.model import Finding
+
+        def site_at(ref):
+            if ref is None:
+                return None
+            path, idx = ref
+            cached = self._file_cache.get(path)
+            if cached is None or idx >= len(cached.sites):
+                return None
+            return cached.sites[idx]
+
+        def use_at(ref):
+            if ref is None:
+                return None
+            path, sidx, uidx = ref
+            site = site_at((path, sidx))
+            if site is None or uidx >= len(site.uses):
+                return None
+            return site.uses[uidx]
+
+        if wire.entry >= len(check_list):
+            return None
+        barrier = site_at(wire.barrier)
+        if wire.barrier is not None and barrier is None:
+            return None
+        use = use_at(wire.use)
+        if wire.use is not None and use is None:
+            return None
+        reference_use = use_at(wire.reference_use)
+        if wire.reference_use is not None and reference_use is None:
+            return None
+        return Finding(
+            kind=wire.kind,
+            filename=wire.filename,
+            function=wire.function,
+            line=wire.line,
+            explanation=wire.explanation,
+            fix_action=wire.fix_action,
+            object_key=wire.object_key,
+            barrier=barrier,
+            pairing=check_list[wire.entry],
+            use=use,
+            reference_use=reference_use,
+            details=dict(wire.details),
+        )
 
     def _scan_single(self, path: str, key: str | None = None) -> str | None:
         if key is None:
@@ -715,7 +934,9 @@ def _mode_options(
 def _run_serial(
     source: KernelSource, options: AnalysisOptions | None = None
 ) -> AnalysisResult:
-    opts = _mode_options(options, workers=None, cache_dir=None)
+    opts = _mode_options(
+        options, workers=None, cache_dir=None, executor=None
+    )
     return OFenceEngine(source, opts).analyze()
 
 
@@ -730,13 +951,38 @@ def _run_parallel(
     return OFenceEngine(source, opts).analyze()
 
 
+@register_run_mode("executor")
+def _run_executor(
+    source: KernelSource, options: AnalysisOptions | None = None
+) -> AnalysisResult:
+    """Analysis through the shared persistent pool, warm-pool pass last.
+
+    Two full runs against the process-wide default executor with the
+    shard threshold forced to 1, so every stage (scan, pairing
+    candidates, CFG checkers) actually crosses the worker boundary even
+    on tiny fuzz inputs.  The second run exercises the warm path — the
+    workers' scan caches and pairing-index namespaces are already
+    populated — and its result is the one diffed against serial mode.
+    """
+    from repro.exec.executor import get_default_executor
+
+    ex = get_default_executor(2)
+    opts = _mode_options(
+        options, workers=2, cache_dir=None, executor=ex, exec_min_batch=1
+    )
+    OFenceEngine(source, opts).analyze()
+    return OFenceEngine(source, opts).analyze()
+
+
 @register_run_mode("cached")
 def _run_cached(
     source: KernelSource, options: AnalysisOptions | None = None
 ) -> AnalysisResult:
     """Cold run filling a throwaway disk cache, then a warm run from it."""
     with tempfile.TemporaryDirectory(prefix="ofence-cache-") as tmp:
-        opts = _mode_options(options, workers=None, cache_dir=tmp)
+        opts = _mode_options(
+            options, workers=None, cache_dir=tmp, executor=None
+        )
         OFenceEngine(source, opts).analyze()
         return OFenceEngine(source, opts).analyze()
 
@@ -762,7 +1008,9 @@ def _run_incremental(
     source: KernelSource, options: AnalysisOptions | None = None
 ) -> AnalysisResult:
     """Full analysis, then a ``reanalyze_file`` pass over every file."""
-    opts = _mode_options(options, workers=None, cache_dir=None)
+    opts = _mode_options(
+        options, workers=None, cache_dir=None, executor=None
+    )
     engine = OFenceEngine(source, opts)
     result = engine.analyze()
     for path in engine.selected_files()[0]:

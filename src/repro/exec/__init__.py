@@ -1,0 +1,25 @@
+"""``repro.exec`` — the persistent, process-based analysis executor.
+
+A warm worker pool shared by the CLI, the engine, and the serve daemon:
+scan, pairing-candidate search, and the CFG-bound checkers dispatch to
+long-lived worker processes that keep parsed state hot across
+``analyze()`` calls.  See :class:`AnalysisExecutor`.
+"""
+
+from repro.exec.executor import (
+    AnalysisExecutor,
+    ExecStats,
+    close_default_executor,
+    get_default_executor,
+)
+from repro.exec.protocol import CheckEntry, ExecContext, FindingWire
+
+__all__ = [
+    "AnalysisExecutor",
+    "CheckEntry",
+    "ExecContext",
+    "ExecStats",
+    "FindingWire",
+    "close_default_executor",
+    "get_default_executor",
+]

@@ -24,7 +24,7 @@ from repro.core.engine import (
 #: HTTP, so the wire codec, queue, and engine pool are all under the
 #: differential oracle.
 DEFAULT_MODES: tuple[str, ...] = (
-    "serial", "parallel", "cached", "incremental", "serve",
+    "serial", "parallel", "cached", "incremental", "serve", "executor",
 )
 
 

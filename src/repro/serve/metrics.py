@@ -8,7 +8,8 @@ One :class:`MetricsRegistry` per server aggregates:
   :class:`~repro.core.profile.StageProfile`,
 * scan-cache statistics merged from every engine's
   :class:`~repro.core.cache.CacheStats`,
-* live gauges (queue depth, pool occupancy) sampled at render time.
+* live gauges (queue depth, pool occupancy, executor pool state)
+  sampled at render time.
 
 ``render_json`` feeds ``GET /metrics``; ``render_prometheus`` renders
 the same snapshot in the Prometheus text exposition format
@@ -123,6 +124,7 @@ class MetricsRegistry:
         self,
         queue: dict[str, Any] | None = None,
         pool: dict[str, Any] | None = None,
+        executor: dict[str, Any] | None = None,
     ) -> dict[str, Any]:
         with self._lock:
             return {
@@ -141,6 +143,7 @@ class MetricsRegistry:
                 "cache": self._cache.as_dict(),
                 "queue": queue or {},
                 "pool": pool or {},
+                "executor": executor or {},
             }
 
     def render_json(self, **gauges) -> str:
@@ -176,7 +179,8 @@ class MetricsRegistry:
         for name, value in snap["cache"].items():
             lines.append(f"ofence_cache_{name} {value}")
         for group, prefix in ((snap["queue"], "ofence_queue_"),
-                              (snap["pool"], "ofence_pool_")):
+                              (snap["pool"], "ofence_pool_"),
+                              (snap["executor"], "ofence_exec_")):
             for name, value in group.items():
                 if isinstance(value, bool):
                     value = int(value)

@@ -68,12 +68,33 @@ class AnalysisService:
         queue_capacity: int = 32,
         batch_limit: int = 8,
         workers: int = 1,
+        exec_workers: int | None = None,
         on_job_start: Callable[[Job], None] | None = None,
     ):
         #: Server-side execution strategy; wire options overlay the
         #: semantic knobs only (see ``repro.serve.wire``).
         self.base_options = options if options is not None \
             else AnalysisOptions()
+        # One shared process executor for every warm engine: the GIL-bound
+        # service threads stay on request/queue work while the CPU-bound
+        # stages (scan, pairing candidates, CFG checkers) run in the pool.
+        # An executor already present in the options is attached (caller
+        # owns its lifetime); otherwise ``exec_workers`` (or the options'
+        # ``workers`` count) creates one this service owns and closes.
+        self.executor = self.base_options.executor
+        self._owns_executor = False
+        if self.executor is None:
+            hint = exec_workers if exec_workers is not None \
+                else (self.base_options.workers or 0)
+            if hint > 1:
+                from repro.exec import AnalysisExecutor
+
+                self.executor = AnalysisExecutor(workers=hint)
+                self._owns_executor = True
+        if self.executor is not None:
+            self.base_options = replace(
+                self.base_options, executor=self.executor
+            )
         self.pool = EnginePool(capacity=pool_capacity)
         self.queue = JobQueue(capacity=queue_capacity,
                               batch_limit=batch_limit)
@@ -232,10 +253,13 @@ class AnalysisService:
     # -- observability -----------------------------------------------------
 
     def metrics_gauges(self) -> dict[str, Any]:
-        return {
+        gauges = {
             "queue": self.queue.snapshot(),
             "pool": self.pool.snapshot(),
         }
+        if self.executor is not None:
+            gauges["executor"] = self.executor.snapshot()
+        return gauges
 
     def health(self) -> dict[str, Any]:
         return {
@@ -254,12 +278,18 @@ class AnalysisService:
         self.queue.stop()
         for worker in self._workers:
             worker.join(timeout=5)
+        self._close_executor()
         return drained
 
     def close(self) -> None:
         self.queue.stop()
         for worker in self._workers:
             worker.join(timeout=5)
+        self._close_executor()
+
+    def _close_executor(self) -> None:
+        if self._owns_executor and self.executor is not None:
+            self.executor.close()
 
 
 # ---------------------------------------------------------------------------

@@ -621,3 +621,69 @@ class TestServiceBatching:
         finally:
             release.set()
             server.stop()
+
+
+# ---------------------------------------------------------------------------
+# Shared process executor
+# ---------------------------------------------------------------------------
+
+
+class TestServiceExecutor:
+    def test_owned_executor_lifecycle_and_metrics(self):
+        from repro.corpus import CorpusSpec, generate_corpus
+        from repro.serve.wire import encode_source as enc
+
+        corpus = generate_corpus(CorpusSpec.small(), seed=3)
+        service = AnalysisService(
+            options=AnalysisOptions(exec_min_batch=1), exec_workers=2
+        )
+        try:
+            assert service.executor is not None
+            job = service.submit_analyze(
+                {"source": enc(corpus.source)}
+            )
+            assert job.wait(120) and job.status == "done"
+            gauges = service.metrics_gauges()
+            assert gauges["executor"]["tasks_completed"] > 0
+            text = service.metrics.render_prometheus(**gauges)
+            assert "ofence_exec_tasks_completed" in text
+        finally:
+            service.close()
+        # The service owns the executor it created: close() closes it.
+        assert service.executor.closed
+
+    def test_attached_executor_not_closed_by_service(self):
+        from repro.exec import AnalysisExecutor
+
+        with AnalysisExecutor(workers=2) as ex:
+            service = AnalysisService(
+                options=AnalysisOptions(executor=ex)
+            )
+            assert service.executor is ex
+            service.close()
+            assert not ex.closed
+
+    def test_executor_results_match_plain_service(self):
+        from repro.fuzz.differential import run_signature
+
+        plain = AnalysisService()
+        pooled = AnalysisService(
+            options=AnalysisOptions(exec_min_batch=1), exec_workers=2
+        )
+        try:
+            jobs = [
+                svc.submit_analyze({
+                    "files": [
+                        {"path": "w.c", "text": WRITER},
+                        {"path": "r.c", "text": BUGGY_READER},
+                    ],
+                })
+                for svc in (plain, pooled)
+            ]
+            for job in jobs:
+                assert job.wait(120) and job.status == "done"
+            assert run_signature(jobs[0].result) == \
+                run_signature(jobs[1].result)
+        finally:
+            plain.close()
+            pooled.close()
