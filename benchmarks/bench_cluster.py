@@ -1,0 +1,126 @@
+"""Cluster throughput: 1 vs 2 vs 4 worker nodes on one tree.
+
+Measures coordinated analysis time over in-process mini-clusters whose
+nodes each run their own two-worker process pool (``exec_workers=2``)
+— so adding a node adds real parse/pair/check parallelism, not just
+HTTP hops — and reports the node-scaling curve.  Every configuration is
+parity-checked bit-for-bit against the serial reference; the speedups
+are reported, not asserted: loopback-HTTP clusters on a small shared
+runner measure overhead as much as scaling, and the correctness claims
+live in ``tests/test_cluster*.py``.
+
+Results land in ``benchmarks/output/BENCH_cluster.json`` (plus a
+rendered table and a ``BENCH`` stdout line).  ``REPRO_BENCH_SMOKE=1``
+shrinks the corpus for CI.
+"""
+
+import json
+import os
+import time
+
+from bench_scaling import _scaled_spec
+from conftest import OUTPUT_DIR
+
+from repro.cluster import ClusterCoordinator
+from repro.core.engine import OFenceEngine
+from repro.core.report import render_table
+from repro.corpus import generate_corpus
+from repro.fuzz.differential import run_signature
+from repro.serve.server import AnalysisServer
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+FACTOR = 1.0 if SMOKE else 4.0
+ROUNDS = 2 if SMOKE else 3
+NODE_COUNTS = (1, 2, 4)
+
+
+def _cluster_seconds(source, nodes: int, reference) -> tuple[float, dict]:
+    """Best-of-ROUNDS coordinated analysis time on a fresh cluster."""
+    servers = [
+        AnalysisServer(exec_workers=2) for _ in range(nodes)
+    ]
+    try:
+        for server in servers:
+            server.start()
+        with ClusterCoordinator([s.url for s in servers]) as coord:
+            times = []
+            for _ in range(ROUNDS + 1):  # round 0 is the cold warm-up
+                start = time.perf_counter()
+                result = coord.analyze(source)
+                times.append(time.perf_counter() - start)
+            assert run_signature(result) == reference, (
+                f"{nodes}-node cluster diverged from serial"
+            )
+            snap = coord.executor.snapshot()
+        return min(times[1:]), snap
+    finally:
+        for server in servers:
+            server.stop()
+
+
+def run_bench(emit):
+    corpus = generate_corpus(_scaled_spec(FACTOR), seed=5)
+    source = corpus.source
+
+    start = time.perf_counter()
+    serial = OFenceEngine(source).analyze()
+    t_serial = time.perf_counter() - start
+    reference = run_signature(serial)
+
+    timings: dict[int, float] = {}
+    snaps: dict[int, dict] = {}
+    for nodes in NODE_COUNTS:
+        timings[nodes], snaps[nodes] = _cluster_seconds(
+            source, nodes, reference
+        )
+
+    rows = [(f"serial ({serial.files_analyzed} files)", f"{t_serial:.2f}s")]
+    for nodes in NODE_COUNTS:
+        speedup = timings[NODE_COUNTS[0]] / max(timings[nodes], 1e-9)
+        rows.append((
+            f"{nodes}-node cluster (exec_workers=2 per node)",
+            f"{timings[nodes]:.2f}s  ({speedup:.1f}x vs 1 node, "
+            f"{snaps[nodes]['rpcs']} RPCs)",
+        ))
+    emit("cluster", render_table(
+        "Cluster throughput: node-scaling, warm nodes, parity-checked",
+        rows,
+    ))
+
+    payload = {
+        "bench": "cluster",
+        "smoke": SMOKE,
+        "cpu_count": os.cpu_count() or 1,
+        "corpus_factor": FACTOR,
+        "rounds": ROUNDS,
+        "serial_seconds": round(t_serial, 4),
+        **{
+            f"cluster_{nodes}_node_seconds": round(timings[nodes], 4)
+            for nodes in NODE_COUNTS
+        },
+        **{
+            f"cluster_{nodes}_node_rpcs": snaps[nodes]["rpcs"]
+            for nodes in NODE_COUNTS
+        },
+        "scaling_2_vs_1": round(timings[1] / max(timings[2], 1e-9), 2),
+        "scaling_4_vs_1": round(timings[1] / max(timings[4], 1e-9), 2),
+    }
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / "BENCH_cluster.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+    print("BENCH " + json.dumps(payload))
+    return payload
+
+
+def test_cluster_performance(emit):
+    run_bench(emit)
+
+
+if __name__ == "__main__":
+    def _emit(name, text):
+        OUTPUT_DIR.mkdir(exist_ok=True)
+        (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}\n")
+
+    run_bench(_emit)

@@ -1,0 +1,76 @@
+"""Consistent-hash ring: file → node shard assignment.
+
+Each node URL is hashed onto the ring at ``replicas`` virtual points; a
+file lands on the first node point at or after the hash of its path.
+The properties the cluster tier needs:
+
+* **deterministic** — assignment depends only on the node set and the
+  file path, never on arrival order, so every coordinator (and every
+  retry) shards a tree identically;
+* **minimal movement** — when a node dies, only the files it owned move
+  (each to the next live point on the ring); the surviving nodes keep
+  their shards and therefore their warm scan caches.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Iterable
+
+#: Virtual points per node; enough to even out small clusters.
+DEFAULT_REPLICAS = 64
+
+
+def _hash(key: str) -> int:
+    return int.from_bytes(
+        hashlib.sha1(key.encode()).digest()[:8], "big"
+    )
+
+
+class HashRing:
+    """Immutable ring over a fixed node set; liveness is a query arg."""
+
+    def __init__(self, nodes: Iterable[str],
+                 replicas: int = DEFAULT_REPLICAS):
+        self._nodes = list(dict.fromkeys(nodes))
+        if not self._nodes:
+            raise ValueError("a hash ring needs at least one node")
+        self._replicas = max(1, replicas)
+        points = [
+            (_hash(f"{node}#{i}"), node)
+            for node in self._nodes
+            for i in range(self._replicas)
+        ]
+        points.sort()
+        self._points = [p for p, _ in points]
+        self._owners = [node for _, node in points]
+
+    @property
+    def nodes(self) -> list[str]:
+        return list(self._nodes)
+
+    def node_for(self, key: str, live: set[str] | None = None) -> str | None:
+        """The owner of ``key``: the first live node at or after its
+        hash, walking the ring.  ``live=None`` means all nodes; an
+        empty live set returns None."""
+        if live is not None and not live:
+            return None
+        start = bisect.bisect_left(self._points, _hash(key))
+        count = len(self._points)
+        for offset in range(count):
+            owner = self._owners[(start + offset) % count]
+            if live is None or owner in live:
+                return owner
+        return None
+
+    def assign(
+        self, keys: Iterable[str], live: set[str] | None = None
+    ) -> dict[str, list[str]]:
+        """Group ``keys`` by owning node (insertion order preserved)."""
+        groups: dict[str, list[str]] = {}
+        for key in keys:
+            owner = self.node_for(key, live)
+            if owner is not None:
+                groups.setdefault(owner, []).append(key)
+        return groups

@@ -1003,6 +1003,27 @@ def _run_serve(
     return run_via_service(source, options)
 
 
+@register_run_mode("cluster")
+def _run_cluster(
+    source: KernelSource, options: AnalysisOptions | None = None
+) -> AnalysisResult:
+    """Full analysis through a live in-process mini-cluster.
+
+    Spins up two worker daemons and a coordinator, runs the tree once
+    on the healthy cluster and once with a node killed mid-analysis,
+    checks the two results agree, and returns the crash-run result —
+    so the differential oracle holds the sharded scan, replicated
+    pairing search, checker fan-out, *and* the failover path to the
+    serial reference.
+    """
+    opts = _mode_options(
+        options, workers=None, cache_dir=None, executor=None
+    )
+    from repro.cluster.mode import run_via_cluster  # lazy: imports us
+
+    return run_via_cluster(source, opts)
+
+
 @register_run_mode("incremental")
 def _run_incremental(
     source: KernelSource, options: AnalysisOptions | None = None

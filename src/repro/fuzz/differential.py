@@ -22,9 +22,13 @@ from repro.core.engine import (
 #: Modes exercised by default; "serial" is the reference.  "serve"
 #: submits the tree to an in-process ``repro.serve`` daemon over real
 #: HTTP, so the wire codec, queue, and engine pool are all under the
-#: differential oracle.
+#: differential oracle.  "cluster" coordinates a live two-node
+#: mini-cluster over the shard protocol — including a node crash
+#: injected mid-analysis — so sharding, merge, and failover are under
+#: the oracle too.
 DEFAULT_MODES: tuple[str, ...] = (
     "serial", "parallel", "cached", "incremental", "serve", "executor",
+    "cluster",
 )
 
 

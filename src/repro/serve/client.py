@@ -9,6 +9,7 @@ callers can implement backpressure-aware retries
 
 from __future__ import annotations
 
+import http.client
 import json
 import time
 import urllib.error
@@ -122,16 +123,32 @@ class ServeClient:
         attempts: int = 5,
         max_backoff: float = 10.0,
     ) -> dict[str, Any]:
-        """Call ``submit()`` honouring 503 + Retry-After backpressure."""
-        last: ClientError | None = None
-        for _ in range(attempts):
+        """Call ``submit()`` honouring 503 + Retry-After backpressure.
+
+        Connection-level failures (reset/refused/dropped mid-response —
+        what a draining or restarting daemon looks like once its
+        listener closes) back off too, honouring the most recent
+        ``Retry-After`` hint when one was seen and an exponential delay
+        otherwise, instead of hot-looping or failing on the first
+        reset.  Non-503 HTTP errors still raise immediately: they are
+        answers, not outages.
+        """
+        last: Exception | None = None
+        hint: float | None = None
+        delay = 0.25
+        for attempt in range(attempts):
             try:
                 return submit()
             except ClientError as exc:
                 if exc.status != 503:
                     raise
                 last = exc
-                time.sleep(min(exc.retry_after or 1.0, max_backoff))
+                hint = exc.retry_after
+            except (OSError, http.client.HTTPException) as exc:
+                last = exc
+            if attempt + 1 < attempts:
+                time.sleep(min(hint or delay, max_backoff))
+                delay = min(delay * 2, max_backoff)
         assert last is not None
         raise last
 

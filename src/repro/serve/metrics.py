@@ -120,14 +120,15 @@ class MetricsRegistry:
 
     # -- rendering ---------------------------------------------------------
 
-    def snapshot(
-        self,
-        queue: dict[str, Any] | None = None,
-        pool: dict[str, Any] | None = None,
-        executor: dict[str, Any] | None = None,
-    ) -> dict[str, Any]:
+    def snapshot(self, **gauges) -> dict[str, Any]:
+        """Everything recorded plus the caller's live gauge groups.
+
+        ``queue``/``pool``/``executor`` keep their historical slots;
+        any further keyword (``shard``, ``cluster``, ...) becomes an
+        additional gauge group rendered under ``ofence_<group>_``.
+        """
         with self._lock:
-            return {
+            snap: dict[str, Any] = {
                 "uptime_seconds": time.monotonic() - self._started,
                 "requests": {
                     name: window.summary()
@@ -141,10 +142,12 @@ class MetricsRegistry:
                 "stage_seconds": dict(sorted(self._stage_seconds.items())),
                 "stage_counters": dict(sorted(self._stage_counters.items())),
                 "cache": self._cache.as_dict(),
-                "queue": queue or {},
-                "pool": pool or {},
-                "executor": executor or {},
             }
+        for name in ("queue", "pool", "executor"):
+            snap[name] = gauges.pop(name, None) or {}
+        for name in sorted(gauges):
+            snap[name] = gauges[name] or {}
+        return snap
 
     def render_json(self, **gauges) -> str:
         return json.dumps(self.snapshot(**gauges), indent=2, default=str)
@@ -178,12 +181,50 @@ class MetricsRegistry:
             lines.append(f"{metric} {seconds:.6f}")
         for name, value in snap["cache"].items():
             lines.append(f"ofence_cache_{name} {value}")
-        for group, prefix in ((snap["queue"], "ofence_queue_"),
-                              (snap["pool"], "ofence_pool_"),
-                              (snap["executor"], "ofence_exec_")):
-            for name, value in group.items():
-                if isinstance(value, bool):
-                    value = int(value)
-                if isinstance(value, (int, float)):
-                    lines.append(f"{prefix}{name} {value}")
+        for group, values in snap.items():
+            if group in _FIXED_SECTIONS or not isinstance(values, dict):
+                continue
+            prefix = _GROUP_PREFIXES.get(group, f"ofence_{group}_")
+            _emit_gauges(lines, prefix, values)
         return "\n".join(lines) + "\n"
+
+
+#: Snapshot keys that are not live gauge groups.
+_FIXED_SECTIONS = frozenset((
+    "uptime_seconds", "requests", "jobs", "counters",
+    "stage_seconds", "stage_counters", "cache",
+))
+
+#: Legacy metric-name prefixes (everything else is ofence_<group>_).
+_GROUP_PREFIXES = {"executor": "ofence_exec_"}
+
+
+def _number(value: Any) -> float | int | None:
+    if isinstance(value, bool):
+        return int(value)
+    return value if isinstance(value, (int, float)) else None
+
+
+def _emit_gauges(lines: list[str], prefix: str, values: dict) -> None:
+    """Render one gauge group: flat numerics as ``<prefix><name>``,
+    one-level dicts as labelled series (``{item="..."}``) — e.g. the
+    cluster group's per-node latency/error gauges."""
+    for name, value in values.items():
+        number = _number(value)
+        if number is not None:
+            lines.append(f"{prefix}{name} {number}")
+        elif isinstance(value, dict):
+            for item, sub in value.items():
+                number = _number(sub)
+                if number is not None:
+                    lines.append(
+                        f'{prefix}{name}{{item="{item}"}} {number}'
+                    )
+                elif isinstance(sub, dict):
+                    for metric, raw in sub.items():
+                        number = _number(raw)
+                        if number is not None:
+                            lines.append(
+                                f'{prefix}{name}_{metric}'
+                                f'{{item="{item}"}} {number}'
+                            )

@@ -70,6 +70,7 @@ class AnalysisService:
         workers: int = 1,
         exec_workers: int | None = None,
         on_job_start: Callable[[Job], None] | None = None,
+        on_job_done: Callable[[Job], None] | None = None,
     ):
         #: Server-side execution strategy; wire options overlay the
         #: semantic knobs only (see ``repro.serve.wire``).
@@ -103,6 +104,16 @@ class AnalysisService:
         self._job_order: list[str] = []
         self._jobs_lock = threading.Lock()
         self._on_job_start = on_job_start
+        self._on_job_done = on_job_done
+        # Every daemon is also a cluster worker node: the shard
+        # endpoints expose the executor stage offloads over HTTP (lazy
+        # import — repro.serve.shard imports this module's ServeError).
+        from repro.serve.shard import ShardService
+
+        self.shard = ShardService(
+            executor=self.executor,
+            accepting=lambda: self.queue.accepting,
+        )
         self._workers = [
             threading.Thread(
                 target=self._worker_loop, name=f"serve-worker-{i}",
@@ -249,6 +260,8 @@ class AnalysisService:
         # double-counting an engine's stats on its next job.
         self.metrics.merge_cache(replace(engine.disk_cache.stats))
         engine.disk_cache.stats = CacheStats()
+        if self._on_job_done is not None:
+            self._on_job_done(job)
 
     # -- observability -----------------------------------------------------
 
@@ -259,6 +272,12 @@ class AnalysisService:
         }
         if self.executor is not None:
             gauges["executor"] = self.executor.snapshot()
+        gauges["shard"] = self.shard.snapshot()
+        # A coordinator daemon's executor is a ClusterExecutor; surface
+        # its per-node view as the ofence_cluster_* gauge group.
+        cluster = getattr(self.executor, "cluster_snapshot", None)
+        if callable(cluster):
+            gauges["cluster"] = cluster()
         return gauges
 
     def health(self) -> dict[str, Any]:
@@ -411,6 +430,17 @@ class _Handler(BaseHTTPRequestHandler):
                 ),
                 "reanalyze",
             )
+        elif url.path.startswith("/v1/shard/"):
+            op = url.path[len("/v1/shard/"):]
+            if op in ("ctx", "scan", "pairsync", "cand", "check"):
+                self._dispatch(
+                    lambda: self._send_json(
+                        200, self.service.shard.handle(op, self._read_body())
+                    ),
+                    f"shard.{op}",
+                )
+            else:
+                self._dispatch(lambda: self._not_found(url.path), "unknown")
         else:
             self._dispatch(lambda: self._not_found(url.path), "unknown")
 

@@ -1,0 +1,85 @@
+"""In-process multi-daemon cluster harness for the cluster tests.
+
+``ClusterHarness`` starts N real serve daemons (each a
+:class:`~repro.serve.server.AnalysisServer` on a loopback port) and a
+:class:`~repro.cluster.coordinator.ClusterCoordinator` over them — the
+same processes, sockets, and wire protocol production uses, minus the
+machines.  ``kill(i)`` takes a node down the hard way: the listener is
+shut first so in-flight coordinator RPCs see connection failures, not
+graceful errors.
+"""
+
+from __future__ import annotations
+
+from repro.cluster import ClusterCoordinator
+from repro.serve.server import AnalysisServer
+
+
+class ClusterHarness:
+    """N worker daemons + one coordinator, all in this process."""
+
+    def __init__(self, nodes: int = 3, node_kwargs: dict | None = None,
+                 **coordinator_kwargs):
+        self.servers = [
+            AnalysisServer(**(node_kwargs or {})) for _ in range(nodes)
+        ]
+        self._killed: set[int] = set()
+        self.coordinator: ClusterCoordinator | None = None
+        self._coordinator_kwargs = coordinator_kwargs
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "ClusterHarness":
+        for server in self.servers:
+            server.start()
+        self.coordinator = ClusterCoordinator(
+            self.urls, **self._coordinator_kwargs
+        )
+        return self
+
+    def stop(self) -> None:
+        if self.coordinator is not None:
+            self.coordinator.close()
+            self.coordinator = None
+        for index in range(len(self.servers)):
+            self.kill(index)
+
+    def __enter__(self) -> "ClusterHarness":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- accessors ---------------------------------------------------------
+
+    @property
+    def urls(self) -> list[str]:
+        return [server.url for server in self.servers]
+
+    @property
+    def executor(self):
+        assert self.coordinator is not None
+        return self.coordinator.executor
+
+    # -- fault injection ---------------------------------------------------
+
+    def kill(self, index: int) -> None:
+        """Take node ``index`` down abruptly: close the listener first
+        (new connections are refused immediately), then tear down the
+        service.  Idempotent."""
+        if index in self._killed:
+            return
+        self._killed.add(index)
+        server = self.servers[index]
+        server._httpd.shutdown()
+        server._httpd.server_close()
+        server.service.close()
+        if server._thread is not None:
+            server._thread.join(timeout=5)
+            server._thread = None
+
+    def alive(self) -> list[int]:
+        return [
+            index for index in range(len(self.servers))
+            if index not in self._killed
+        ]
