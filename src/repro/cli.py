@@ -66,6 +66,10 @@ def _build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--read-window", type=int, default=50)
     analyze.add_argument("--patches", action="store_true",
                          help="print generated patches")
+    analyze.add_argument("--trace", type=Path, default=None, metavar="PATH",
+                         help="trace the run and write a Chrome "
+                              "trace_event JSON (Perfetto-loadable) "
+                              "to PATH")
     _add_perf_args(analyze)
 
     corpus = sub.add_parser("corpus", help="generate + analyze the "
@@ -161,6 +165,9 @@ def _build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--json", action="store_true",
                         help="print the raw JSON response")
     submit.add_argument("--timeout", type=float, default=300.0)
+    submit.add_argument("--trace", type=Path, default=None, metavar="PATH",
+                        help="trace the job server-side and write the "
+                             "Chrome trace_event JSON to PATH")
 
     cluster = sub.add_parser(
         "cluster",
@@ -201,6 +208,10 @@ def _build_parser() -> argparse.ArgumentParser:
     csubmit.add_argument("--json", action="store_true",
                          help="print the raw JSON response")
     csubmit.add_argument("--timeout", type=float, default=300.0)
+    csubmit.add_argument("--trace", type=Path, default=None, metavar="PATH",
+                         help="trace the submission across coordinator, "
+                              "shard nodes, and exec workers; write the "
+                              "Chrome trace_event JSON to PATH")
 
     cstatus = cluster_sub.add_parser(
         "status",
@@ -242,6 +253,20 @@ def _maybe_profile(args, result) -> None:
         print(result.profile.render())
 
 
+def _export_trace(path: Path, trace_id: str, spans: list[dict]) -> None:
+    """Write the Chrome trace_event JSON and print the span tree."""
+    import json as _json
+
+    from repro.trace import render_tree, to_chrome
+
+    path.write_text(
+        _json.dumps(to_chrome(trace_id, spans), indent=2) + "\n"
+    )
+    print(f"\ntrace {trace_id}: {len(spans)} spans -> {path}")
+    print("(open in https://ui.perfetto.dev or chrome://tracing)")
+    print(render_tree(spans))
+
+
 def cmd_analyze(args) -> int:
     if len(args.files) == 1 and args.files[0].is_dir():
         source = KernelSource.from_directory(args.files[0])
@@ -251,7 +276,14 @@ def cmd_analyze(args) -> int:
     options = _perf_options(args, ScanLimits(
         write_window=args.write_window, read_window=args.read_window
     ))
-    result = OFenceEngine(source, options).analyze()
+    trace = None
+    if args.trace is not None:
+        from repro.trace import start_trace
+
+        with start_trace("analyze", node="cli") as trace:
+            result = OFenceEngine(source, options).analyze()
+    else:
+        result = OFenceEngine(source, options).analyze()
     print(f"{result.total_barriers} barriers, "
           f"{len(result.pairing.pairings)} pairings\n")
     for pairing in result.pairing.pairings:
@@ -263,6 +295,8 @@ def cmd_analyze(args) -> int:
             print()
             print(patch.render())
     _maybe_profile(args, result)
+    if trace is not None:
+        _export_trace(args.trace, trace.trace_id, trace.export())
     return 0
 
 
@@ -412,9 +446,16 @@ def cmd_submit(args) -> int:
         write_window=args.write_window, read_window=args.read_window
     ))
     client = ServeClient(args.server, timeout=args.timeout)
+    trace_id = None
+    if getattr(args, "trace", None) is not None:
+        from repro.trace import new_id
+
+        trace_id = new_id()
     try:
         response = client.submit_with_retry(
-            lambda: client.analyze(source, options, wait=True)
+            lambda: client.analyze(
+                source, options, wait=True, trace=trace_id
+            )
         )
     except ClientError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -441,6 +482,16 @@ def cmd_submit(args) -> int:
     print(f"\njob {response['job_id']} tree {response['tree_key'][:12]} "
           f"signature {summary['signature'][:12]} "
           f"({summary['elapsed_seconds']:.2f}s engine time)")
+    if trace_id is not None:
+        try:
+            payload = client.job_trace(response["job_id"])
+        except (ClientError, OSError) as exc:
+            print(f"warning: could not fetch trace: {exc}",
+                  file=sys.stderr)
+        else:
+            _export_trace(
+                args.trace, payload["trace_id"], payload["spans"]
+            )
     return 0
 
 

@@ -22,7 +22,18 @@ parity machinery for free:
   same merge the local executor performs;
 * every failure mode (node down, RPC timeout, misaligned reply)
   degrades to ``None``/incomplete returns, which the engine answers
-  with its serial fallback — never a wrong result.
+  with its serial fallback — never a wrong result.  The one exception
+  is a coordinator shutting down: a ``close()`` racing an in-flight op
+  raises :class:`~repro.exec.executor.ExecutorClosed` instead of
+  letting the drain degrade into a serial re-run.
+
+Tracing: under an active trace each RPC attempt is an ``rpc.<op>``
+span, the trace context rides the ``X-Repro-Trace`` header (attached
+by the underlying HTTP client), and the spans a node returns inline
+are absorbed under that RPC span — producing one coherent tree across
+coordinator, nodes, and the nodes' exec workers.  Fan-out threads each
+run in their own ``contextvars`` context copy; a single context cannot
+be entered by two threads at once.
 
 Failure handling: nodes answering 503 are backed off per
 ``Retry-After``; connection-level failures retry with exponential
@@ -34,6 +45,7 @@ resync handles the rest).
 
 from __future__ import annotations
 
+import contextvars
 import http.client
 import threading
 import time
@@ -43,10 +55,12 @@ from typing import Any, Callable
 
 from repro.cluster.client import ShardClient
 from repro.cluster.ring import DEFAULT_REPLICAS, HashRing
+from repro.exec.executor import ExecutorClosed
 from repro.exec.protocol import PAIR_NS_CAP, ExecContext
 from repro.serve.client import ClientError
 from repro.serve.metrics import LatencyWindow
 from repro.serve.shard import pack, unpack
+from repro.trace.context import absorb_remote, span
 
 #: Connection-level failures: what a dead/dying node looks like.  Note
 #: ``http.client.HTTPException`` (e.g. BadStatusLine from a listener
@@ -218,11 +232,17 @@ class ClusterExecutor:
                     node.client.shard_ctx(ctx)
                     node.epoch_sent = ctx.epoch
                 started = time.monotonic()
-                out = fn()
+                # The span is active around fn() so the HTTP client
+                # ships it in X-Repro-Trace: spans the node records
+                # for this request parent under this rpc span.
+                with span(f"rpc.{op}", target=node.url):
+                    out = fn()
                 node.latency.record(time.monotonic() - started)
                 node.rpcs += 1
                 with self._stats_lock:
                     self.stats.rpcs += 1
+                if isinstance(out, dict):
+                    absorb_remote(out.pop("spans", None))
                 return out
             except ClientError as exc:
                 if exc.status == 428:
@@ -314,7 +334,8 @@ class ClusterExecutor:
                 results.append((url, out))
 
         threads = [
-            threading.Thread(target=run_group, args=(url, paths),
+            threading.Thread(target=contextvars.copy_context().run,
+                             args=(run_group, url, paths),
                              name=f"cluster-scan-{i}", daemon=True)
             for i, (url, paths) in enumerate(groups.items())
         ]
@@ -342,6 +363,11 @@ class ClusterExecutor:
                 hook(url)
 
         lost = len(jobs) - base["completed"]
+        if lost and self._closed:
+            # Closed out from under the op: the missing files are a
+            # shutdown artefact, not a node failure — don't let the
+            # engine quietly re-scan them serially during the drain.
+            raise ExecutorClosed("cluster executor closed mid-scan")
         if lost:
             with self._stats_lock:
                 self.stats.scan_files_lost += lost
@@ -386,7 +412,8 @@ class ClusterExecutor:
                     info["computed"] += stats.get("candidates_computed", 0)
 
         threads = [
-            threading.Thread(target=run_chunk, args=(i, chunk),
+            threading.Thread(target=contextvars.copy_context().run,
+                             args=(run_chunk, i, chunk),
                              name=f"cluster-cand-{i}", daemon=True)
             for i, chunk in enumerate(chunks)
         ]
@@ -398,6 +425,10 @@ class ClusterExecutor:
         out: list = []
         for chunk, cands in zip(chunks, out_chunks):
             if cands is None or len(cands) != len(chunk):
+                if self._closed:
+                    raise ExecutorClosed(
+                        "cluster executor closed mid-pairing"
+                    )
                 return None, info
             out.extend(cands)
         return out, info
@@ -517,7 +548,8 @@ class ClusterExecutor:
                 shard_results[index] = unpack(out["results"])
 
         threads = [
-            threading.Thread(target=run_chunk, args=(i, chunk),
+            threading.Thread(target=contextvars.copy_context().run,
+                             args=(run_chunk, i, chunk),
                              name=f"cluster-check-{i}", daemon=True)
             for i, chunk in enumerate(chunks)
         ]
@@ -533,6 +565,10 @@ class ClusterExecutor:
             fail: str | None = None
             for res in shard_results:
                 if res is None:
+                    if self._closed:
+                        raise ExecutorClosed(
+                            "cluster executor closed mid-check"
+                        )
                     return None, info
                 shard = res.get(name)
                 if shard is None:

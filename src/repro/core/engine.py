@@ -46,6 +46,7 @@ from repro.cparse.typesys import TypeRegistry
 from repro.kernel.barriers import BARRIER_PRIMITIVES
 from repro.kernel.config import KernelConfig, default_config
 from repro.patching.generate import Patch, PatchGenerator
+from repro.trace.context import span as trace_span
 
 #: Regex matching any barrier primitive or seqcount helper call; used for
 #: the cheap "does this file contain barriers?" pre-filter.
@@ -302,7 +303,13 @@ class OFenceEngine:
 
     def analyze(self) -> AnalysisResult:
         with self._lock:
-            return self._analyze_locked()
+            try:
+                return self._analyze_locked()
+            finally:
+                # A mid-run exception (a shutting-down executor raising
+                # ExecutorClosed) must not leave a stale profile behind
+                # for the next run to pollute.
+                self._profile = None
 
     def _analyze_locked(self) -> AnalysisResult:
         start = time.perf_counter()
@@ -312,7 +319,7 @@ class OFenceEngine:
         selected, skipped = self.selected_files()
         total_with_barriers = len(selected) + len(skipped)
 
-        with profile.stage("scan"):
+        with profile.stage("scan"), trace_span("engine.scan") as t_scan:
             pending = self._refresh_cache(selected, profile)
             if pending:
                 executor = (
@@ -327,6 +334,9 @@ class OFenceEngine:
                 for path, key in pending_left:
                     self._scan_single(path, key)
             profile.count("scan.scanned", len(pending))
+            if t_scan is not None:
+                t_scan.meta["files"] = len(selected)
+                t_scan.meta["scanned"] = len(pending)
         failed = self._failed_files(selected)
 
         return self._finish(
@@ -336,7 +346,10 @@ class OFenceEngine:
     def reanalyze_file(self, path: str, new_text: str | None = None) -> AnalysisResult:
         """Incremental mode: re-scan one file, re-run pairing + checks."""
         with self._lock:
-            return self._reanalyze_file_locked(path, new_text)
+            try:
+                return self._reanalyze_file_locked(path, new_text)
+            finally:
+                self._profile = None
 
     def _reanalyze_file_locked(
         self, path: str, new_text: str | None = None
@@ -349,7 +362,7 @@ class OFenceEngine:
         selected, skipped = self.selected_files()
         total_with_barriers = len(selected) + len(skipped)
 
-        with profile.stage("scan"):
+        with profile.stage("scan"), trace_span("engine.scan", file=path):
             if path in selected:
                 key = self._scan_key(path)
                 cached = self._file_cache.get(path)
@@ -386,7 +399,7 @@ class OFenceEngine:
             if cached is not None:
                 sites.extend(cached.sites)
 
-        with profile.stage("pair"):
+        with profile.stage("pair"), trace_span("engine.pair"):
             with profile.stage("pair.sync"):
                 updated = self._sync_pairing_index(selected)
             profile.count("pair.files_updated", updated)
@@ -397,7 +410,7 @@ class OFenceEngine:
             for name, value in pairer.stats.items():
                 profile.count(f"pair.{name}", value)
 
-        with profile.stage("check"):
+        with profile.stage("check"), trace_span("engine.check"):
             suite = CheckerSuite(
                 self._cfg_lookup,
                 annotate=self.options.annotate,
@@ -406,7 +419,7 @@ class OFenceEngine:
             )
             report = suite.run(pairing)
 
-        with profile.stage("patch"):
+        with profile.stage("patch"), trace_span("engine.patch"):
             generator = PatchGenerator(
                 self.source.files, self._cfg_lookup,
                 memo=self._patch_memo, file_key=self._patch_memo_key,
@@ -417,7 +430,6 @@ class OFenceEngine:
             if generator.failures:
                 profile.count("patch.failed", len(generator.failures))
 
-        self._profile = None
         return AnalysisResult(
             files_with_barriers=total_with_barriers,
             files_analyzed=len(selected),
@@ -938,6 +950,25 @@ def _run_serial(
         options, workers=None, cache_dir=None, executor=None
     )
     return OFenceEngine(source, opts).analyze()
+
+
+@register_run_mode("traced")
+def _run_traced(
+    source: KernelSource, options: AnalysisOptions | None = None
+) -> AnalysisResult:
+    """Serial analysis under an active trace.
+
+    Tracing is strictly observational; this mode exists so the
+    differential oracle continuously proves a traced run's report is
+    bit-for-bit identical to the untraced serial reference.
+    """
+    from repro.trace import start_trace
+
+    opts = _mode_options(
+        options, workers=None, cache_dir=None, executor=None
+    )
+    with start_trace("analyze", node="traced"):
+        return OFenceEngine(source, opts).analyze()
 
 
 @register_run_mode("parallel")

@@ -9,6 +9,7 @@ long-lived worker processes that keep parsed state hot across
 from repro.exec.executor import (
     AnalysisExecutor,
     ExecStats,
+    ExecutorClosed,
     close_default_executor,
     get_default_executor,
 )
@@ -19,6 +20,7 @@ __all__ = [
     "CheckEntry",
     "ExecContext",
     "ExecStats",
+    "ExecutorClosed",
     "FindingWire",
     "close_default_executor",
     "get_default_executor",

@@ -26,10 +26,13 @@ Design points:
   collect loop; the worker is respawned (fresh queue, fresh state) and
   its lost batches are re-dispatched.  Warm state is rebuilt on demand
   — the parent's per-worker pairing-namespace mirror is reset with it.
-* **Never-raise toward the engine.**  Infrastructure failures surface
-  as ``None``/incomplete returns and the engine falls back to its
-  serial path; analysis results are never silently wrong, at worst the
-  offload is skipped.
+* **Never-raise toward the engine** — with one deliberate exception.
+  Infrastructure failures (worker crashes, op timeouts, start errors)
+  surface as ``None``/incomplete returns and the engine falls back to
+  its serial path; analysis results are never silently wrong, at worst
+  the offload is skipped.  But a ``close()`` racing an in-flight op
+  raises :class:`ExecutorClosed` instead: shutdown must not be
+  silently converted into a serial re-run that outlives the drain.
 
 One executor instance may be shared by many engines and threads (the
 serve daemon does exactly that); a single re-entrant lock serializes
@@ -50,11 +53,25 @@ from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro.exec.protocol import PAIR_NS_CAP, ExecContext  # noqa: F401
+from repro.trace.context import absorb_remote
+from repro.trace.context import ship as ship_trace
 
 #: Seconds without any result or crash before an op gives up and the
 #: engine falls back to serial execution.
 DEFAULT_OP_TIMEOUT = 300.0
 _POLL = 0.2
+
+
+class ExecutorClosed(RuntimeError):
+    """The pool was closed while (or before) an offload used it.
+
+    Raised instead of degrading to the serial path: a close racing an
+    in-flight op means the process is shutting down, and silently
+    re-running the analysis serially would hide the shutdown (and stall
+    it).  Callers that *want* serial fallback check ``closed`` before
+    dispatching — the engine's ``_active_executor`` does exactly that —
+    so this only surfaces when the close genuinely interrupted work.
+    """
 
 
 def _start_method(explicit: str | None) -> str:
@@ -128,6 +145,7 @@ class AnalysisExecutor:
         self._batch_ids = itertools.count(1)
         self._wid_seq = itertools.count(1)
         self._closed = False
+        self._shutdown = threading.Event()
         self._last_activity = time.monotonic()
         self._reaper: threading.Thread | None = None
         self.stats = ExecStats()
@@ -224,10 +242,13 @@ class AnalysisExecutor:
         self._workers.clear()
 
     def close(self) -> None:
+        # Flag shutdown *before* taking the lock: an in-flight op holds
+        # the lock for its whole collect loop, and must observe the
+        # event and raise ExecutorClosed instead of stalling this close
+        # until its op timeout.  Teardown below is idempotent.
+        self._closed = True
+        self._shutdown.set()
         with self._lock:
-            if self._closed:
-                return
-            self._closed = True
             self._shutdown_workers()
             if self._result_q is not None:
                 try:
@@ -283,10 +304,14 @@ class AnalysisExecutor:
         ``prelude(worker)`` runs once per worker per op before its first
         task (and again for respawned workers) — the pairing sync hook.
         ``on_payload(index, payload)`` streams successes as they land.
+
+        Raises :class:`ExecutorClosed` when the pool is closed at entry
+        or is closed out from under the op mid-collect.
         """
+        tctx = ship_trace()
         with self._lock:
             if self._closed:
-                return None
+                raise ExecutorClosed("executor is closed")
             try:
                 self._ensure_started()
             except Exception:
@@ -316,7 +341,7 @@ class AnalysisExecutor:
                 assigned[bid] = worker
                 worker.inflight += 1
                 self.stats.batches_sent += 1
-                worker.task_q.put((kind, bid, *args))
+                worker.task_q.put((kind, bid, tctx, *args))
 
             for i in range(len(tasks)):
                 send(i)
@@ -324,8 +349,12 @@ class AnalysisExecutor:
             by_wid = {w.wid: w for w in self._workers}
             last_progress = time.monotonic()
             while pending:
+                if self._shutdown.is_set():
+                    raise ExecutorClosed(
+                        "executor closed while tasks were in flight"
+                    )
                 try:
-                    wid, bid, status, payload = self._result_q.get(
+                    wid, bid, status, payload, spans = self._result_q.get(
                         timeout=_POLL
                     )
                 except queue_mod.Empty:
@@ -360,6 +389,7 @@ class AnalysisExecutor:
                 last_progress = time.monotonic()
                 if bid not in pending:
                     continue  # stale reply from an aborted earlier op
+                absorb_remote(spans)
                 i = pending.pop(bid)
                 assigned.pop(bid, None)
                 if status == "ok":

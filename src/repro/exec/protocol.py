@@ -29,10 +29,20 @@ Task messages (parent -> worker), all tuples headed by a kind tag:
 ``("exit",)``         shut the worker down cleanly; no reply
 ====================  ====================================================
 
+The three analysis kinds (``scan``/``cand``/``check``) are shaped
+``(kind, batch_id, tctx, *args)`` where ``tctx`` is the parent's trace
+context — a ``(trace id, parent span id)`` pair from
+:func:`repro.trace.context.ship`, or ``None`` when the request is
+untraced.  ``ctx``/``pairsync``/``crash``/``exit`` carry no trace
+context.
+
 Replies travel on one shared result queue as
-``(worker_id, batch_id, status, payload)`` with ``status`` either
-``"ok"`` or ``"error"`` (handler raised; payload is the traceback text —
-the parent falls back to the serial path).
+``(worker_id, batch_id, status, payload, spans)`` with ``status``
+either ``"ok"`` or ``"error"`` (handler raised; payload is the
+traceback text — the parent falls back to the serial path).  ``spans``
+is a list of span dicts timing the task (see
+:class:`repro.trace.model.SpanRecord`) when ``tctx`` was set, else
+``None``; the parent absorbs them into the live trace.
 """
 
 from __future__ import annotations

@@ -24,6 +24,7 @@ path for that stage.
 from __future__ import annotations
 
 import os
+import time
 import traceback
 from collections import OrderedDict
 
@@ -32,6 +33,7 @@ from repro.core.cache import CachedScan
 from repro.cparse.parser import ParseError, parse_source
 from repro.cparse.typesys import TypeRegistry
 from repro.exec.protocol import PAIR_NS_CAP, encode_finding
+from repro.trace.model import SpanRecord
 
 #: Warm-state bounds; generous for the corpus scale, small enough that a
 #: long-lived daemon worker cannot grow without limit.
@@ -292,19 +294,57 @@ def worker_main(worker_id: int, task_q, result_q) -> None:
                 # fail as a task error and the parent will pair serially.
                 state.pair.pop(msg[1], None)
             continue
+        # Analysis tasks arrive as (kind, batch id, tctx, *args) where
+        # tctx is the parent's (trace id, span id) pair, or None when
+        # the request is untraced.  The handlers keep the legacy
+        # (kind, batch id, *args) message shape — shard services call
+        # them directly, without a pool in between.
         batch_id = msg[1]
+        tctx = msg[2]
+        rest = msg[3:]
+        started = time.time()
+        opened = time.perf_counter()
         try:
             if kind == "scan":
-                payload = _handle_scan(state, msg[2])
+                payload = _handle_scan(state, rest[0])
             elif kind == "cand":
-                payload = _handle_cand(state, msg)
+                payload = _handle_cand(state, (kind, batch_id, *rest))
             elif kind == "check":
-                payload = _handle_check(state, msg)
+                payload = _handle_check(state, (kind, batch_id, *rest))
             else:
                 raise ValueError(f"unknown task kind {kind!r}")
-            result_q.put((worker_id, batch_id, "ok", payload))
-        except Exception:
+            spans = _task_spans(worker_id, kind, tctx, started, opened)
+            result_q.put((worker_id, batch_id, "ok", payload, spans))
+        except Exception as exc:
+            spans = _task_spans(
+                worker_id, kind, tctx, started, opened,
+                error=type(exc).__name__,
+            )
             result_q.put((
                 worker_id, batch_id, "error",
                 traceback.format_exc(limit=8),
+                spans,
             ))
+
+
+def _task_spans(
+    worker_id: int,
+    kind: str,
+    tctx: tuple[str, str | None] | None,
+    started: float,
+    opened: float,
+    error: str | None = None,
+) -> list[dict] | None:
+    """One-span list timing this task, or ``None`` when untraced."""
+    if tctx is None:
+        return None
+    meta = {"error": error} if error else {}
+    record = SpanRecord(
+        name=f"exec.{kind}",
+        parent_id=tctx[1],
+        start=started,
+        duration=time.perf_counter() - opened,
+        node=f"exec:{worker_id}",
+        meta=meta,
+    )
+    return [record.as_dict()]

@@ -25,10 +25,11 @@ from repro.core.engine import (
 #: differential oracle.  "cluster" coordinates a live two-node
 #: mini-cluster over the shard protocol — including a node crash
 #: injected mid-analysis — so sharding, merge, and failover are under
-#: the oracle too.
+#: the oracle too.  "traced" is serial under an active request trace,
+#: continuously proving that tracing is strictly observational.
 DEFAULT_MODES: tuple[str, ...] = (
     "serial", "parallel", "cached", "incremental", "serve", "executor",
-    "cluster",
+    "cluster", "traced",
 )
 
 

@@ -18,6 +18,8 @@ from typing import Any
 
 from repro.core.engine import AnalysisOptions, KernelSource
 from repro.serve.wire import encode_options, encode_source
+from repro.trace import TRACE_HEADER
+from repro.trace.context import ship_header
 
 
 class ClientError(Exception):
@@ -40,10 +42,19 @@ class ServeClient:
     # -- raw HTTP ----------------------------------------------------------
 
     def _request(self, method: str, path: str,
-                 body: dict[str, Any] | None = None) -> dict[str, Any]:
+                 body: dict[str, Any] | None = None,
+                 headers: dict[str, str] | None = None) -> dict[str, Any]:
         request = urllib.request.Request(
             f"{self.base_url}{path}", method=method
         )
+        for name, value in (headers or {}).items():
+            request.add_header(name, value)
+        if not request.has_header(TRACE_HEADER.capitalize()):
+            # Propagate the ambient trace so spans opened by the server
+            # parent to the caller's current span.
+            ambient = ship_header()
+            if ambient is not None:
+                request.add_header(TRACE_HEADER, ambient)
         data = None
         if body is not None:
             data = json.dumps(body).encode()
@@ -54,11 +65,19 @@ class ServeClient:
             ) as response:
                 return json.loads(response.read())
         except urllib.error.HTTPError as exc:
-            retry_after = exc.headers.get("Retry-After")
+            # The error response holds a live socket; read the detail
+            # and close it *here* — raising with the HTTPError chained
+            # keeps the exception (and its socket) alive in the caller,
+            # and a retry storm of abandoned responses leaks FDs until
+            # the cyclic GC happens to run.
             try:
-                detail = json.loads(exc.read()).get("error", "")
-            except Exception:
-                detail = exc.reason
+                retry_after = exc.headers.get("Retry-After")
+                try:
+                    detail = json.loads(exc.read()).get("error", "")
+                except Exception:
+                    detail = exc.reason
+            finally:
+                exc.close()
             raise ClientError(
                 exc.code, str(detail),
                 retry_after=float(retry_after) if retry_after else None,
@@ -88,18 +107,30 @@ class ServeClient:
                 query += f"&timeout={timeout}"
         return self._request("GET", f"/v1/jobs/{job_id}{query}")
 
+    def job_trace(self, job_id: str) -> dict[str, Any]:
+        """The job's span tree: ``{trace_id, spans, complete}``."""
+        return self._request("GET", f"/v1/jobs/{job_id}/trace")
+
     def analyze(
         self,
         source: KernelSource,
         options: AnalysisOptions | None = None,
         wait: bool = True,
+        trace: str | None = None,
     ) -> dict[str, Any]:
+        """Submit a tree.  ``trace`` is an explicit trace id: the server
+        records a span tree for the job (rooted at its ``job`` span)
+        retrievable via :meth:`job_trace`.  Without it, the ambient
+        trace — when one is active — propagates instead."""
         body: dict[str, Any] = {"source": encode_source(source)}
         encoded = encode_options(options)
         if encoded is not None:
             body["options"] = encoded
         suffix = "?wait=1" if wait else ""
-        return self._request("POST", f"/v1/analyze{suffix}", body)
+        headers = {TRACE_HEADER: trace} if trace is not None else None
+        return self._request(
+            "POST", f"/v1/analyze{suffix}", body, headers=headers
+        )
 
     def reanalyze(
         self,

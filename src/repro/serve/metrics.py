@@ -8,6 +8,8 @@ One :class:`MetricsRegistry` per server aggregates:
   :class:`~repro.core.profile.StageProfile`,
 * scan-cache statistics merged from every engine's
   :class:`~repro.core.cache.CacheStats`,
+* span-duration windows per span name, folded in from every finished
+  request trace (``ofence_trace_*``),
 * live gauges (queue depth, pool occupancy, executor pool state)
   sampled at render time.
 
@@ -33,34 +35,59 @@ WINDOW = 1024
 
 
 class LatencyWindow:
-    """Sliding window of durations with percentile queries."""
+    """Sliding window of durations with percentile queries.
+
+    Thread-safe on its own lock: windows are written from request
+    handler and job worker threads while ``/metrics`` renders them, and
+    ``sorted()`` over a deque that another thread is appending to
+    raises ``RuntimeError: deque mutated during iteration``.
+    """
 
     def __init__(self, maxlen: int = WINDOW):
+        self._lock = threading.Lock()
         self._samples: deque[float] = deque(maxlen=maxlen)
         self.count = 0
         self.total = 0.0
 
     def record(self, seconds: float) -> None:
-        self._samples.append(seconds)
-        self.count += 1
-        self.total += seconds
+        with self._lock:
+            self._samples.append(seconds)
+            self.count += 1
+            self.total += seconds
 
-    def percentile(self, p: float) -> float | None:
-        if not self._samples:
+    @staticmethod
+    def _pick(ordered: list[float], p: float) -> float | None:
+        """Nearest-rank percentile over a sorted sample list.
+
+        The index math is exact on tiny windows: with one sample every
+        percentile is that sample; with two, p50 rounds to index 0
+        (banker's rounding of 0.5) and p95/p99 clamp to index 1.
+        """
+        if not ordered:
             return None
-        ordered = sorted(self._samples)
         index = min(
             len(ordered) - 1, max(0, round(p / 100 * (len(ordered) - 1)))
         )
         return ordered[index]
 
+    def percentile(self, p: float) -> float | None:
+        with self._lock:
+            ordered = sorted(self._samples)
+        return self._pick(ordered, p)
+
     def summary(self) -> dict[str, Any]:
+        # One locked snapshot for all the quantiles, so the summary is
+        # internally consistent (p50 <= p95 <= p99 always holds).
+        with self._lock:
+            ordered = sorted(self._samples)
+            count = self.count
+            total = self.total
         return {
-            "count": self.count,
-            "mean_ms": (self.total / self.count * 1000) if self.count else None,
-            "p50_ms": _ms(self.percentile(50)),
-            "p95_ms": _ms(self.percentile(95)),
-            "p99_ms": _ms(self.percentile(99)),
+            "count": count,
+            "mean_ms": (total / count * 1000) if count else None,
+            "p50_ms": _ms(self._pick(ordered, 50)),
+            "p95_ms": _ms(self._pick(ordered, 95)),
+            "p99_ms": _ms(self._pick(ordered, 99)),
         }
 
 
@@ -80,6 +107,9 @@ class MetricsRegistry:
         self._stage_seconds: dict[str, float] = {}
         self._stage_counters: dict[str, int] = {}
         self._cache = CacheStats()
+        #: Span-duration windows keyed by span name (``engine.scan``,
+        #: ``exec.check``, ``job``, ...), fed by ``observe_trace``.
+        self._span_windows: dict[str, LatencyWindow] = {}
 
     # -- recording ---------------------------------------------------------
 
@@ -118,6 +148,26 @@ class MetricsRegistry:
         with self._lock:
             self._cache.merge(stats)
 
+    def observe_trace(self, trace) -> None:
+        """Fold a finished trace's span durations into the windows.
+
+        Takes anything with an ``export()`` returning span dicts (a
+        :class:`repro.trace.model.Trace`).  Open spans (``duration``
+        ``None``) are skipped — they never closed, so they carry no
+        latency signal.
+        """
+        spans = trace.export()
+        with self._lock:
+            self.increment("trace.traces", _locked=True)
+            self.increment("trace.spans", len(spans), _locked=True)
+            for span in spans:
+                duration = span.get("duration")
+                if duration is None:
+                    continue
+                self._span_windows.setdefault(
+                    str(span.get("name", "?")), LatencyWindow()
+                ).record(float(duration))
+
     # -- rendering ---------------------------------------------------------
 
     def snapshot(self, **gauges) -> dict[str, Any]:
@@ -142,6 +192,10 @@ class MetricsRegistry:
                 "stage_seconds": dict(sorted(self._stage_seconds.items())),
                 "stage_counters": dict(sorted(self._stage_counters.items())),
                 "cache": self._cache.as_dict(),
+                "trace_spans": {
+                    name: window.summary()
+                    for name, window in sorted(self._span_windows.items())
+                },
             }
         for name in ("queue", "pool", "executor"):
             snap[name] = gauges.pop(name, None) or {}
@@ -181,6 +235,21 @@ class MetricsRegistry:
             lines.append(f"{metric} {seconds:.6f}")
         for name, value in snap["cache"].items():
             lines.append(f"ofence_cache_{name} {value}")
+        if snap["trace_spans"]:
+            lines.append("# TYPE ofence_trace_span_seconds summary")
+        for name, summary in snap["trace_spans"].items():
+            label = f'span="{name}"'
+            lines.append(
+                f"ofence_trace_spans_total{{{label}}} {summary['count']}"
+            )
+            for q, key in ((0.5, "p50_ms"), (0.95, "p95_ms"),
+                           (0.99, "p99_ms")):
+                value = summary[key]
+                if value is not None:
+                    lines.append(
+                        f'ofence_trace_span_seconds{{{label},'
+                        f'quantile="{q}"}} {value / 1000:.6f}'
+                    )
         for group, values in snap.items():
             if group in _FIXED_SECTIONS or not isinstance(values, dict):
                 continue
@@ -192,7 +261,7 @@ class MetricsRegistry:
 #: Snapshot keys that are not live gauge groups.
 _FIXED_SECTIONS = frozenset((
     "uptime_seconds", "requests", "jobs", "counters",
-    "stage_seconds", "stage_counters", "cache",
+    "stage_seconds", "stage_counters", "cache", "trace_spans",
 ))
 
 #: Legacy metric-name prefixes (everything else is ofence_<group>_).

@@ -69,6 +69,11 @@ class Job:
     finished_at: float | None = None
     #: How many jobs travelled in the same batch (observability).
     batch_size: int = 0
+    #: Trace recording this job's spans (``repro.trace.model.Trace``),
+    #: set at submission when the request carried ``X-Repro-Trace``.
+    trace: Any | None = field(default=None, repr=False, compare=False)
+    #: Remote parent span id the job span should attach to, if any.
+    trace_parent: str | None = None
     _done: threading.Event = field(default_factory=threading.Event)
 
     def mark_running(self) -> None:

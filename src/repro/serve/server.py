@@ -8,13 +8,24 @@ Two layers:
   the CLI drive it through HTTP.
 * :class:`AnalysisServer` — ``ThreadingHTTPServer`` wrapper routing
 
-  ====== ======================= =====================================
-  POST   ``/v1/analyze``         submit a full tree (``?wait=1`` blocks)
-  POST   ``/v1/reanalyze``       file deltas against a warm engine
-  GET    ``/v1/jobs/<id>``       job status/result (``?wait=1`` blocks)
-  GET    ``/metrics``            JSON (``?format=prometheus`` for text)
-  GET    ``/healthz``            liveness + drain state
-  ====== ======================= =====================================
+  ====== ========================== ==================================
+  POST   ``/v1/analyze``            submit a full tree (``?wait=1``
+                                    blocks)
+  POST   ``/v1/reanalyze``          file deltas against a warm engine
+  GET    ``/v1/jobs/<id>``          job status/result (``?wait=1``
+                                    blocks)
+  GET    ``/v1/jobs/<id>/trace``    the job's span tree (404 when the
+                                    submission carried no trace header)
+  GET    ``/metrics``               JSON (``?format=prometheus`` text)
+  GET    ``/healthz``               liveness + drain state
+  ====== ========================== ==================================
+
+Tracing: a submission carrying ``X-Repro-Trace`` (``<trace id>`` or
+``<trace id>/<parent span id>``) gets a per-job trace — the job span,
+the engine's stage spans, and any exec-worker spans — retrievable at
+``/v1/jobs/<id>/trace``.  The shard endpoints honour the same header
+and return their spans inline in the response (``"spans"``), which is
+how a coordinator stitches node spans into one request tree.
 
 Backpressure: a full queue or a draining server answers ``503`` with a
 ``Retry-After`` header.  Graceful drain (SIGTERM in the CLI) stops
@@ -27,6 +38,7 @@ from __future__ import annotations
 import json
 import threading
 import traceback
+from contextlib import contextmanager
 from dataclasses import replace
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Callable
@@ -35,6 +47,8 @@ from urllib.parse import parse_qs, urlparse
 from repro.core.cache import CacheStats
 from repro.core.engine import AnalysisOptions, OFenceEngine
 from repro.serve.metrics import MetricsRegistry
+from repro.trace import TRACE_HEADER, Trace, parse_header
+from repro.trace.context import activate, span
 from repro.serve.pool import EnginePool
 from repro.serve.queue import Draining, Job, JobQueue, QueueFull
 from repro.serve.wire import (
@@ -96,6 +110,9 @@ class AnalysisService:
             self.base_options = replace(
                 self.base_options, executor=self.executor
             )
+        #: Node label stamped on spans recorded here; the HTTP wrapper
+        #: overwrites it with ``host:port`` once the listener is bound.
+        self.node_label = "local"
         self.pool = EnginePool(capacity=pool_capacity)
         self.queue = JobQueue(capacity=queue_capacity,
                               batch_limit=batch_limit)
@@ -141,16 +158,34 @@ class AnalysisService:
                     break
         return job
 
-    def submit_analyze(self, payload: dict[str, Any]) -> Job:
+    def _attach_trace(
+        self, job: Job, trace_ctx: tuple[str, str | None] | None
+    ) -> None:
+        if trace_ctx is None:
+            return
+        trace_id, parent = trace_ctx
+        job.trace = Trace(trace_id=trace_id, node=self.node_label)
+        job.trace_parent = parent
+
+    def submit_analyze(
+        self,
+        payload: dict[str, Any],
+        trace_ctx: tuple[str, str | None] | None = None,
+    ) -> Job:
         source = decode_source(payload.get("source") or payload)
         options = decode_options(payload.get("options"), self.base_options)
         key = tree_key(source, options)
         job = Job(kind="analyze", tree_key=key, source=source,
                   options=options)
+        self._attach_trace(job, trace_ctx)
         self._submit(job)
         return self._register(job)
 
-    def submit_reanalyze(self, payload: dict[str, Any]) -> Job:
+    def submit_reanalyze(
+        self,
+        payload: dict[str, Any],
+        trace_ctx: tuple[str, str | None] | None = None,
+    ) -> Job:
         key = payload.get("tree_key")
         if not key:
             raise ServeError(400, "reanalyze requires tree_key")
@@ -170,6 +205,7 @@ class AnalysisService:
                 raise ServeError(400, "each delta needs path (+ text)")
             deltas.append((str(item["path"]), str(item.get("text", ""))))
         job = Job(kind="reanalyze", tree_key=key, deltas=deltas)
+        self._attach_trace(job, trace_ctx)
         self._submit(job)
         return self._register(job)
 
@@ -206,20 +242,42 @@ class AnalysisService:
             finally:
                 self.queue.done(len(batch))
 
+    @contextmanager
+    def _job_ctx(self, job: Job):
+        """Activate the job's trace around its run (no-op untraced).
+
+        The ``job`` span is the root of a plain submission's tree and
+        covers engine acquisition through result absorption, so its
+        duration tracks the job's reported ``run_seconds``.
+        """
+        if job.trace is None:
+            yield
+            return
+        with activate(job.trace, parent=job.trace_parent):
+            with span("job", kind=job.kind, job_id=job.job_id):
+                yield
+
     def _run_analyze(self, job: Job) -> None:
         job.mark_running()
         if self._on_job_start is not None:
             self._on_job_start(job)
         try:
-            with self.pool.acquire(
-                job.tree_key, source=job.source, options=job.options
-            ) as engine:
-                result = engine.analyze()
-                self._absorb(engine, job, result)
-        except Exception as exc:  # pragma: no cover - engine never-raise
+            with self._job_ctx(job):
+                with self.pool.acquire(
+                    job.tree_key, source=job.source, options=job.options
+                ) as engine:
+                    result = engine.analyze()
+                    self._absorb(engine, job, result)
+        except Exception as exc:
+            # The engine never raises for analysis errors, but shutdown
+            # does: an ExecutorClosed racing a drain lands here and the
+            # job fails loudly instead of silently re-running serially.
             job.mark_failed(f"{type(exc).__name__}: {exc}")
             self.metrics.observe_job("analyze", job.run_seconds or 0.0,
                                      ok=False)
+        finally:
+            if job.trace is not None:
+                self.metrics.observe_trace(job.trace)
 
     def _run_reanalyze_batch(self, batch: list[Job]) -> None:
         entry = self.pool.get(batch[0].tree_key)
@@ -241,16 +299,20 @@ class AnalysisService:
                 if self._on_job_start is not None:
                     self._on_job_start(job)
                 try:
-                    result = None
-                    for path, text in job.deltas:
-                        result = entry.engine.reanalyze_file(path, text)
-                    assert result is not None  # deltas validated non-empty
-                    self._absorb(entry.engine, job, result)
-                except Exception as exc:  # pragma: no cover
+                    with self._job_ctx(job):
+                        result = None
+                        for path, text in job.deltas:
+                            result = entry.engine.reanalyze_file(path, text)
+                        assert result is not None  # validated non-empty
+                        self._absorb(entry.engine, job, result)
+                except Exception as exc:
                     job.mark_failed(f"{type(exc).__name__}: {exc}")
                     self.metrics.observe_job(
                         "reanalyze", job.run_seconds or 0.0, ok=False
                     )
+                finally:
+                    if job.trace is not None:
+                        self.metrics.observe_trace(job.trace)
 
     def _absorb(self, engine: OFenceEngine, job: Job, result) -> None:
         job.mark_done(result)
@@ -413,20 +475,48 @@ class _Handler(BaseHTTPRequestHandler):
 
     # -- routes ------------------------------------------------------------
 
+    def _trace_ctx(self) -> tuple[str, str | None] | None:
+        return parse_header(self.headers.get(TRACE_HEADER))
+
+    def _handle_shard(self, op: str) -> None:
+        payload = self._read_body()
+        trace_ctx = self._trace_ctx()
+        if trace_ctx is None:
+            self._send_json(200, self.service.shard.handle(op, payload))
+            return
+        # Shard requests are synchronous: record spans into a
+        # per-request trace and return them inline, so the coordinator
+        # can stitch this node's work under its RPC span.
+        trace_id, parent = trace_ctx
+        trace = Trace(trace_id=trace_id, node=self.service.node_label)
+        with activate(trace, parent=parent):
+            with span(f"shard.{op}"):
+                out = self.service.shard.handle(op, payload)
+        out = dict(out)
+        out["spans"] = trace.export()
+        self.service.metrics.observe_trace(trace)
+        self._send_json(200, out)
+
     def do_POST(self) -> None:  # noqa: N802 - stdlib naming
         url = urlparse(self.path)
         query = parse_qs(url.query)
         if url.path == "/v1/analyze":
             self._dispatch(
                 lambda: self._job_response(
-                    self.service.submit_analyze(self._read_body()), query
+                    self.service.submit_analyze(
+                        self._read_body(), trace_ctx=self._trace_ctx()
+                    ),
+                    query,
                 ),
                 "analyze",
             )
         elif url.path == "/v1/reanalyze":
             self._dispatch(
                 lambda: self._job_response(
-                    self.service.submit_reanalyze(self._read_body()), query
+                    self.service.submit_reanalyze(
+                        self._read_body(), trace_ctx=self._trace_ctx()
+                    ),
+                    query,
                 ),
                 "reanalyze",
             )
@@ -434,20 +524,38 @@ class _Handler(BaseHTTPRequestHandler):
             op = url.path[len("/v1/shard/"):]
             if op in ("ctx", "scan", "pairsync", "cand", "check"):
                 self._dispatch(
-                    lambda: self._send_json(
-                        200, self.service.shard.handle(op, self._read_body())
-                    ),
-                    f"shard.{op}",
+                    lambda: self._handle_shard(op), f"shard.{op}"
                 )
             else:
                 self._dispatch(lambda: self._not_found(url.path), "unknown")
         else:
             self._dispatch(lambda: self._not_found(url.path), "unknown")
 
+    def _job_trace_response(self, job_id: str) -> None:
+        job = self.service.job(job_id)
+        if job.trace is None:
+            raise ServeError(404, f"job {job_id} was not traced")
+        spans = job.trace.export()
+        self._send_json(200, {
+            "trace_id": job.trace.trace_id,
+            "spans": spans,
+            "complete": (
+                job.status in ("done", "failed")
+                and all(s.get("duration") is not None for s in spans)
+            ),
+        })
+
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
         url = urlparse(self.path)
         query = parse_qs(url.query)
-        if url.path.startswith("/v1/jobs/"):
+        # The /trace suffix must route before the generic job lookup:
+        # that one treats the last path segment as the job id.
+        if url.path.startswith("/v1/jobs/") and url.path.endswith("/trace"):
+            job_id = url.path[len("/v1/jobs/"):-len("/trace")]
+            self._dispatch(
+                lambda: self._job_trace_response(job_id), "trace"
+            )
+        elif url.path.startswith("/v1/jobs/"):
             job_id = url.path.rsplit("/", 1)[-1]
             self._dispatch(
                 lambda: self._job_response(self.service.job(job_id), query),
@@ -502,6 +610,8 @@ class AnalysisServer:
         self._httpd = ThreadingHTTPServer((host, port), _Handler)
         self._httpd.daemon_threads = True
         self._httpd.service = self.service  # type: ignore[attr-defined]
+        self.service.node_label = \
+            f"{self._httpd.server_address[0]}:{self._httpd.server_address[1]}"
         self._thread: threading.Thread | None = None
 
     @property

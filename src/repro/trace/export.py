@@ -1,0 +1,160 @@
+"""Trace exports: Chrome ``trace_event`` JSON and a compact text tree.
+
+All functions take span *dicts* (the wire form from
+:meth:`repro.trace.model.Trace.export` or the ``/v1/jobs/<id>/trace``
+endpoint) so they work equally on live traces and on re-loaded JSON.
+
+:func:`to_chrome` emits the JSON-object variant of the Chrome trace
+format — ``{"traceEvents": [...]}`` with ``ph: "X"`` complete events,
+microsecond timestamps, and one synthetic pid per node label (plus
+``process_name`` metadata events) so Perfetto/``chrome://tracing``
+groups spans by the machine/worker that produced them.
+
+:func:`validate_chrome` is the schema check the CI ``trace-smoke`` job
+and the tests share; :func:`dangling` finds spans that never closed or
+whose parents are missing — the "complete span tree" oracle.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+def _node_pids(spans: list[dict[str, Any]]) -> dict[str, int]:
+    """Stable synthetic pid per node label (sorted order)."""
+    labels = sorted({str(span.get("node", "local")) for span in spans})
+    return {label: index + 1 for index, label in enumerate(labels)}
+
+
+def to_chrome(
+    trace_id: str, spans: list[dict[str, Any]]
+) -> dict[str, Any]:
+    """Chrome ``trace_event`` document for one trace."""
+    pids = _node_pids(spans)
+    events: list[dict[str, Any]] = []
+    for label, pid in pids.items():
+        events.append({
+            "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+            "args": {"name": label},
+        })
+    for span in spans:
+        node = str(span.get("node", "local"))
+        duration = span.get("duration")
+        args = dict(span.get("meta") or {})
+        args["span_id"] = span.get("span_id")
+        if span.get("parent_id"):
+            args["parent_id"] = span.get("parent_id")
+        if duration is None:
+            args["open"] = True  # dangling span: exported, flagged
+        events.append({
+            "name": str(span.get("name", "?")),
+            "cat": "repro",
+            "ph": "X",
+            "ts": round(float(span.get("start", 0.0)) * 1e6, 3),
+            "dur": round(float(duration or 0.0) * 1e6, 3),
+            "pid": pids[node],
+            "tid": pids[node],
+            "args": args,
+        })
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"trace_id": trace_id, "format": "repro.trace/1"},
+    }
+
+
+def validate_chrome(doc: Any) -> list[str]:
+    """Schema errors for a Chrome ``trace_event`` document (empty = ok).
+
+    Checks the JSON-object container and, per event, the fields the
+    Trace Event Format requires for the phases we emit: ``name``/``ph``
+    strings, numeric ``ts``, and for complete (``X``) events a
+    non-negative numeric ``dur`` plus integer ``pid``/``tid``.
+    """
+    errors: list[str] = []
+    if not isinstance(doc, dict):
+        return ["document is not a JSON object"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents is missing or not a list"]
+    if not events:
+        errors.append("traceEvents is empty")
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        if not isinstance(event.get("name"), str):
+            errors.append(f"{where}: name must be a string")
+        ph = event.get("ph")
+        if not isinstance(ph, str) or not ph:
+            errors.append(f"{where}: ph must be a non-empty string")
+            continue
+        if ph == "M":
+            continue  # metadata events carry only name/pid/args
+        if not isinstance(event.get("ts"), (int, float)):
+            errors.append(f"{where}: ts must be a number")
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                errors.append(f"{where}: X event needs dur >= 0")
+            for key in ("pid", "tid"):
+                if not isinstance(event.get(key), int):
+                    errors.append(f"{where}: {key} must be an integer")
+    return errors
+
+
+def dangling(spans: list[dict[str, Any]]) -> list[str]:
+    """Incompleteness findings for a span set (empty = complete tree).
+
+    A tree is complete when every span closed (``duration`` set) and
+    every ``parent_id`` resolves to another span in the set; roots
+    (``parent_id`` ``None``) are fine.
+    """
+    ids = {span.get("span_id") for span in spans}
+    problems: list[str] = []
+    for span in spans:
+        label = f"{span.get('name')}[{span.get('span_id')}]"
+        if span.get("duration") is None:
+            problems.append(f"{label}: never closed")
+        parent = span.get("parent_id")
+        if parent is not None and parent not in ids:
+            problems.append(f"{label}: parent {parent} missing")
+    return problems
+
+
+def render_tree(spans: list[dict[str, Any]]) -> str:
+    """Compact indented text tree (CLI ``--trace`` companion output)."""
+    if not spans:
+        return "(empty trace)"
+    by_id = {span.get("span_id"): span for span in spans}
+    children: dict[str | None, list[dict[str, Any]]] = {}
+    for span in spans:
+        parent = span.get("parent_id")
+        if parent is not None and parent not in by_id:
+            parent = None  # orphan: show at root with its real parent lost
+        children.setdefault(parent, []).append(span)
+    for group in children.values():
+        group.sort(key=lambda s: (float(s.get("start", 0.0)),
+                                  str(s.get("span_id"))))
+
+    lines: list[str] = []
+
+    def emit(span: dict[str, Any], depth: int) -> None:
+        duration = span.get("duration")
+        shown = (
+            f"{float(duration) * 1000:.1f}ms" if duration is not None
+            else "OPEN"
+        )
+        error = (span.get("meta") or {}).get("error")
+        suffix = f"  !{error}" if error else ""
+        lines.append(
+            f"{'  ' * depth}{span.get('name')}  {shown}"
+            f"  [{span.get('node')}]{suffix}"
+        )
+        for child in children.get(span.get("span_id"), ()):
+            emit(child, depth + 1)
+
+    for root in children.get(None, ()):
+        emit(root, 0)
+    return "\n".join(lines)

@@ -1,0 +1,121 @@
+"""Trace data model: spans and the per-request span collection.
+
+A :class:`SpanRecord` is one timed operation (an engine stage, an RPC
+hop, a worker task).  Spans carry wall-clock start times (so records
+from different machines/processes line up on one timeline) and
+monotonic durations (so a clock step cannot produce negative spans).
+``duration is None`` marks a span that never closed — the export layer
+and the tests treat those as dangling.
+
+A :class:`Trace` is a flat, thread-safe list of spans plus the trace
+id; tree structure lives in the records' ``parent_id`` links, which
+makes merging remote spans (worker replies, shard responses) a plain
+append.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+
+def new_id() -> str:
+    """A 64-bit random hex id (span and trace ids)."""
+    return os.urandom(8).hex()
+
+
+@dataclass
+class SpanRecord:
+    """One timed operation inside a trace."""
+
+    name: str
+    span_id: str = field(default_factory=new_id)
+    parent_id: str | None = None
+    #: Wall-clock open time (``time.time()``), for cross-process merge.
+    start: float = field(default_factory=time.time)
+    #: Monotonic elapsed seconds; ``None`` while the span is open.
+    duration: float | None = None
+    #: Where the work ran: ``cli``, ``local``, ``host:port``, ``exec:N``.
+    node: str = "local"
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start": self.start,
+            "duration": self.duration,
+            "node": self.node,
+            "meta": dict(self.meta),
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict[str, Any]) -> "SpanRecord":
+        if "name" not in raw:
+            raise ValueError("span dict has no name")
+        duration = raw.get("duration")
+        return cls(
+            name=str(raw["name"]),
+            span_id=str(raw.get("span_id") or new_id()),
+            parent_id=(
+                str(raw["parent_id"])
+                if raw.get("parent_id") is not None else None
+            ),
+            start=float(raw.get("start", 0.0)),
+            duration=float(duration) if duration is not None else None,
+            node=str(raw.get("node", "remote")),
+            meta=dict(raw.get("meta") or {}),
+        )
+
+
+class Trace:
+    """Thread-safe span collection for one traced request."""
+
+    def __init__(self, trace_id: str | None = None, node: str = "local"):
+        self.trace_id = trace_id or new_id()
+        #: Default node label stamped on spans opened in this process.
+        self.node = node
+        self._lock = threading.Lock()
+        self._spans: list[SpanRecord] = []
+
+    def add(self, record: SpanRecord) -> SpanRecord:
+        with self._lock:
+            self._spans.append(record)
+        return record
+
+    def records(self) -> list[SpanRecord]:
+        """Snapshot of the spans recorded so far."""
+        with self._lock:
+            return list(self._spans)
+
+    def export(self) -> list[dict[str, Any]]:
+        """JSON/IPC-safe span dicts (the wire form)."""
+        return [record.as_dict() for record in self.records()]
+
+    def absorb(self, span_dicts: Iterable[dict[str, Any]]) -> int:
+        """Merge remote span dicts (worker replies, shard responses).
+
+        Malformed entries are dropped, never raised — a bad span must
+        not fail an analysis.  Returns how many spans were added.
+        """
+        added = 0
+        for raw in span_dicts or ():
+            if not isinstance(raw, dict):
+                continue
+            try:
+                self.add(SpanRecord.from_dict(raw))
+                added += 1
+            except (TypeError, ValueError):
+                continue
+        return added
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Trace({self.trace_id!r}, spans={len(self)})"
