@@ -60,6 +60,11 @@ class Finding:
     reference_use: ObjectUse | None = None
     #: Extra per-fix data (e.g. replacement primitive name).
     details: dict[str, str] = field(default_factory=dict)
+    #: Stable cross-revision identity (see ``repro.store.fingerprint``),
+    #: attached by the engine after the check stage.  Excluded from
+    #: comparison: two findings are the same deviation regardless of
+    #: whether a fingerprint was computed yet.
+    fingerprint: str | None = field(default=None, compare=False)
 
     @property
     def finding_id(self) -> str:

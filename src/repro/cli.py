@@ -11,6 +11,10 @@ Usage::
     ofence cluster serve --node URL ...   # coordinator over worker nodes
     ofence cluster submit DIR --server U  # submit to a coordinator
     ofence cluster status --server URL    # node liveness + cluster metrics
+    ofence history --store-dir DIR        # recorded runs in the store
+    ofence diff [A B] --store-dir DIR     # classify findings across runs
+    ofence triage list|mark ...           # per-fingerprint triage states
+    ofence report FILES --store-dir DIR   # store-aware findings report
 
 All subcommands print the pairings, findings and patches to stdout.
 """
@@ -52,6 +56,18 @@ def _add_perf_args(parser: argparse.ArgumentParser) -> None:
                              "breakdown")
 
 
+def _add_store_args(parser: argparse.ArgumentParser,
+                    required: bool = False) -> None:
+    """Findings-store flags shared by analyze/serve/history/diff/..."""
+    parser.add_argument("--store-dir", type=Path, default=None,
+                        required=required, metavar="DIR",
+                        help="persistent findings store directory; runs "
+                             "are recorded with stable fingerprints for "
+                             "cross-revision diffing and triage")
+    parser.add_argument("--store-label", default="", metavar="TEXT",
+                        help="free-text label stamped on recorded runs")
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="ofence",
@@ -71,6 +87,7 @@ def _build_parser() -> argparse.ArgumentParser:
                               "trace_event JSON (Perfetto-loadable) "
                               "to PATH")
     _add_perf_args(analyze)
+    _add_store_args(analyze)
 
     corpus = sub.add_parser("corpus", help="generate + analyze the "
                                            "synthetic kernel corpus")
@@ -84,10 +101,23 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--seed", type=int, default=2023)
     sweep.add_argument("--small", action="store_true")
 
-    report = sub.add_parser("report", help="full evaluation report (§6)")
+    report = sub.add_parser(
+        "report",
+        help="full evaluation report (§6); with FILES + --store-dir, a "
+             "store-aware findings report instead",
+    )
+    report.add_argument("files", nargs="*", type=Path,
+                        help="C files or a tree for a store-aware "
+                             "findings report (default: corpus "
+                             "evaluation report)")
     report.add_argument("--seed", type=int, default=2023)
     report.add_argument("--small", action="store_true")
+    report.add_argument("--suppress-known", action="store_true",
+                        help="drop findings whose fingerprint was "
+                             "already triaged (confirmed, "
+                             "false-positive, or fixed)")
     _add_perf_args(report)
+    _add_store_args(report)
 
     json_cmd = sub.add_parser(
         "json", help="analyze C files and emit a JSON report (for CI)"
@@ -152,6 +182,7 @@ def _build_parser() -> argparse.ArgumentParser:
                             "engines for CPU-bound stages (default: "
                             "--workers; 0/1 disables the pool)")
     _add_perf_args(serve)
+    _add_store_args(serve)
 
     submit = sub.add_parser(
         "submit",
@@ -194,6 +225,7 @@ def _build_parser() -> argparse.ArgumentParser:
     cserve.add_argument("--job-workers", type=int, default=1)
     cserve.add_argument("--node-timeout", type=float, default=300.0,
                         help="per-RPC timeout toward worker nodes")
+    _add_store_args(cserve)
 
     csubmit = cluster_sub.add_parser(
         "submit",
@@ -224,6 +256,56 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="worker node URL to health-probe directly "
                               "(repeatable)")
     cstatus.add_argument("--timeout", type=float, default=10.0)
+
+    history = sub.add_parser(
+        "history",
+        help="recorded analysis runs in a findings store",
+    )
+    history.add_argument("--limit", type=int, default=None, metavar="N",
+                         help="only the last N runs")
+    history.add_argument("--json", action="store_true",
+                         help="print the raw run records as JSON")
+    _add_store_args(history, required=True)
+
+    diff = sub.add_parser(
+        "diff",
+        help="classify findings between two recorded runs as "
+             "new / reappeared / persistent / resolved",
+    )
+    diff.add_argument("runs", nargs="*", type=int, metavar="RUN",
+                      help="two run ids (default: the last two runs)")
+    diff.add_argument("--json", action="store_true",
+                      help="print the canonical JSON diff")
+    _add_store_args(diff, required=True)
+
+    triage = sub.add_parser(
+        "triage",
+        help="inspect and update per-fingerprint triage states",
+    )
+    triage_sub = triage.add_subparsers(dest="triage_command", required=True)
+
+    tlist = triage_sub.add_parser("list", help="stored findings with "
+                                               "their triage states")
+    tlist.add_argument("--state", default=None,
+                       help="filter by state (open, confirmed, "
+                            "false-positive, fixed)")
+    tlist.add_argument("--checker", default=None,
+                       help="filter by checker kind")
+    tlist.add_argument("--suppress", action="store_true",
+                       help="hide false-positive findings (the default "
+                            "report view)")
+    tlist.add_argument("--json", action="store_true")
+    _add_store_args(tlist, required=True)
+
+    tmark = triage_sub.add_parser("mark", help="move a fingerprint to a "
+                                               "new triage state")
+    tmark.add_argument("fingerprint")
+    tmark.add_argument("state",
+                       help="target state (open, confirmed, "
+                            "false-positive, fixed)")
+    tmark.add_argument("--note", default="",
+                       help="free-text note recorded with the transition")
+    _add_store_args(tmark, required=True)
     return parser
 
 
@@ -267,6 +349,26 @@ def _export_trace(path: Path, trace_id: str, spans: list[dict]) -> None:
     print(render_tree(spans))
 
 
+def _record_into_store(args, source, options, result) -> None:
+    """Persist one CLI run into ``--store-dir`` (no-op without it)."""
+    if getattr(args, "store_dir", None) is None:
+        return
+    from repro.serve.wire import encode_options, tree_key
+    from repro.store import FindingsStore
+
+    with FindingsStore(args.store_dir) as store:
+        outcome = store.record_run(
+            result,
+            tree_hash=tree_key(source, options),
+            label=getattr(args, "store_label", ""),
+            source="cli",
+            config=encode_options(options),
+        )
+        print(f"\nrecorded run {outcome.run.id} into {args.store_dir} "
+              f"({len(outcome.new_fingerprints)} new, "
+              f"{len(outcome.known_fingerprints)} known fingerprints)")
+
+
 def cmd_analyze(args) -> int:
     if len(args.files) == 1 and args.files[0].is_dir():
         source = KernelSource.from_directory(args.files[0])
@@ -295,6 +397,7 @@ def cmd_analyze(args) -> int:
             print()
             print(patch.render())
     _maybe_profile(args, result)
+    _record_into_store(args, source, options, result)
     if trace is not None:
         _export_trace(args.trace, trace.trace_id, trace.export())
     return 0
@@ -326,6 +429,8 @@ def cmd_sweep(args) -> int:
 
 
 def cmd_report(args) -> int:
+    if args.files:
+        return _cmd_store_report(args)
     corpus = generate_corpus(_spec(args), seed=args.seed)
     result = OFenceEngine(corpus.source, _perf_options(args)).analyze()
     score = score_run(result, corpus.truth)
@@ -334,6 +439,132 @@ def cmd_report(args) -> int:
     print(read_distance_histogram(result).render())
     _maybe_profile(args, result)
     return 0
+
+
+def _cmd_store_report(args) -> int:
+    """Store-aware findings report over FILES (or a tree).
+
+    Findings are annotated with their triage state from ``--store-dir``;
+    false-positive fingerprints are suppressed by default (counted in
+    the footer), and ``--suppress-known`` additionally drops everything
+    a human already triaged, so only never-seen work remains.
+    """
+    from repro.store.triage import KNOWN_STATES, SUPPRESSED_STATES
+
+    if len(args.files) == 1 and args.files[0].is_dir():
+        source = KernelSource.from_directory(args.files[0])
+    else:
+        source = KernelSource(
+            files={str(path): path.read_text() for path in args.files}
+        )
+    result = OFenceEngine(source, _perf_options(args)).analyze()
+    findings = list(result.report.all_findings)
+    states: dict[str, str] = {}
+    if args.store_dir is not None:
+        from repro.store import FindingsStore
+
+        with FindingsStore(args.store_dir) as store:
+            states = store.states_of(
+                f.fingerprint for f in findings if f.fingerprint
+            )
+    shown = 0
+    dropped: dict[str, int] = {}
+    hidden = SUPPRESSED_STATES | (
+        KNOWN_STATES if args.suppress_known else frozenset()
+    )
+    for finding in findings:
+        state = states.get(finding.fingerprint or "", "open")
+        if state in hidden:
+            dropped[state] = dropped.get(state, 0) + 1
+            continue
+        shown += 1
+        print(f"finding [{state}] {finding.fingerprint}: "
+              f"{finding.describe()}")
+    note = ", ".join(f"{count} {state}"
+                     for state, count in sorted(dropped.items()))
+    print(f"\n{shown} finding(s) shown"
+          + (f"; suppressed: {note}" if dropped else ""))
+    _maybe_profile(args, result)
+    return 0
+
+
+def cmd_history(args) -> int:
+    import json as _json
+
+    from repro.store import FindingsStore
+
+    with FindingsStore(args.store_dir) as store:
+        runs = store.runs(limit=args.limit)
+        if args.json:
+            print(_json.dumps([run.as_dict() for run in runs], indent=2))
+            return 0
+        if not runs:
+            print("no recorded runs")
+            return 0
+        for run in runs:
+            print(run.describe())
+    return 0
+
+
+def cmd_diff(args) -> int:
+    from repro.store import FindingsStore, StoreError
+
+    if args.runs and len(args.runs) != 2:
+        print("error: give exactly two run ids (or none for the last "
+              "two runs)", file=sys.stderr)
+        return 2
+    with FindingsStore(args.store_dir) as store:
+        try:
+            if args.runs:
+                diff = store.diff(args.runs[0], args.runs[1])
+            else:
+                diff = store.diff()
+        except StoreError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        if args.json:
+            sys.stdout.write(diff.to_json())
+        else:
+            print(diff.render())
+    # CI-friendly: non-zero exit when the newer run introduced findings.
+    return 1 if diff.new or diff.reappeared else 0
+
+
+def cmd_triage(args) -> int:
+    import json as _json
+
+    from repro.store import FindingsStore, StoreError, TriageError
+
+    with FindingsStore(args.store_dir) as store:
+        if args.triage_command == "list":
+            try:
+                found = store.findings(
+                    state=args.state, checker=args.checker,
+                    suppress=args.suppress,
+                )
+            except TriageError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            if args.json:
+                print(_json.dumps([f.as_dict() for f in found], indent=2))
+                return 0
+            if not found:
+                print("no stored findings match")
+                return 0
+            for finding in found:
+                print(finding.describe())
+                if finding.note:
+                    print(f"    note: {finding.note}")
+            return 0
+        try:
+            finding = store.triage(
+                args.fingerprint, args.state, note=args.note, actor="cli"
+            )
+        except (TriageError, StoreError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        print(finding.describe())
+        return 0
 
 
 def cmd_json(args) -> int:
@@ -409,6 +640,8 @@ def cmd_serve(args) -> int:
         batch_limit=args.batch_limit,
         workers=args.job_workers,
         exec_workers=args.exec_workers,
+        store_dir=str(args.store_dir) if args.store_dir else None,
+        store_label=args.store_label,
     )
     server.start()
     executor = server.service.executor
@@ -514,6 +747,8 @@ def cmd_cluster_serve(args) -> int:
         queue_capacity=args.queue_capacity,
         batch_limit=args.batch_limit,
         workers=args.job_workers,
+        store_dir=str(args.store_dir) if args.store_dir else None,
+        store_label=args.store_label,
     )
     server.start()
     live = sum(1 for up in nodes_up.values() if up)
@@ -585,6 +820,9 @@ def main(argv: list[str] | None = None) -> int:
         "serve": cmd_serve,
         "submit": cmd_submit,
         "cluster": cmd_cluster,
+        "history": cmd_history,
+        "diff": cmd_diff,
+        "triage": cmd_triage,
     }[args.command]
     return handler(args)
 

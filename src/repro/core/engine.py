@@ -419,6 +419,11 @@ class OFenceEngine:
             )
             report = suite.run(pairing)
 
+        with profile.stage("fingerprint"):
+            from repro.store.fingerprint import attach_fingerprints
+
+            attach_fingerprints(report.all_findings, self.source.files)
+
         with profile.stage("patch"), trace_span("engine.patch"):
             generator = PatchGenerator(
                 self.source.files, self._cfg_lookup,
@@ -1053,6 +1058,44 @@ def _run_cluster(
     from repro.cluster.mode import run_via_cluster  # lazy: imports us
 
     return run_via_cluster(source, opts)
+
+
+@register_run_mode("store")
+def _run_store(
+    source: KernelSource, options: AnalysisOptions | None = None
+) -> AnalysisResult:
+    """Serial analysis recorded twice into a throwaway findings store.
+
+    Persistence is strictly observational: the mode records the same
+    result into a fresh store twice and asserts the store's own diff
+    sees no drift (everything persistent, nothing new/resolved), then
+    returns the engine result untouched — so the differential oracle
+    holds the store round-trip to the serial reference, and any
+    fingerprint instability or lossy record/diff path shows up as a
+    mode divergence.
+    """
+    from repro.store import FindingsStore, finding_records
+
+    opts = _mode_options(
+        options, workers=None, cache_dir=None, executor=None
+    )
+    result = OFenceEngine(source, opts).analyze()
+    records = finding_records(result)
+    with tempfile.TemporaryDirectory(prefix="ofence-store-") as tmp:
+        with FindingsStore(tmp) as store:
+            store.record_run(result, tree_hash="fuzz", source="mode")
+            store.record_run(result, tree_hash="fuzz", source="mode")
+            diff = store.diff()
+            counts = diff.counts
+            if (
+                counts["persistent"] != len({r["fingerprint"] for r in records})
+                or counts["new"] or counts["resolved"] or counts["reappeared"]
+            ):
+                raise AssertionError(
+                    f"store round-trip drifted: {counts} for "
+                    f"{len(records)} findings"
+                )
+    return result
 
 
 @register_run_mode("incremental")

@@ -27,9 +27,12 @@ from repro.core.engine import (
 #: injected mid-analysis — so sharding, merge, and failover are under
 #: the oracle too.  "traced" is serial under an active request trace,
 #: continuously proving that tracing is strictly observational.
+# "store" records the serial result into a throwaway findings store
+# twice and asserts the store's own diff sees no drift, so the
+# fingerprint/record/diff round-trip is under the oracle too.
 DEFAULT_MODES: tuple[str, ...] = (
     "serial", "parallel", "cached", "incremental", "serve", "executor",
-    "cluster", "traced",
+    "cluster", "traced", "store",
 )
 
 
@@ -52,6 +55,9 @@ def run_signature(result: AnalysisResult) -> dict:
                                for s in result.pairing.implicit_ipc),
         "findings": sorted(f.describe()
                            for f in result.report.all_findings),
+        "fingerprints": sorted(
+            f.fingerprint or "" for f in result.report.all_findings
+        ),
         "checker_failures": sorted(
             cf.describe() for cf in result.report.checker_failures
         ),

@@ -129,10 +129,26 @@ TRANSFORMS = {
     "defines": transform_defines,
 }
 
+#: Transforms under which finding *fingerprints* must also be stable.
+#: "rename" rewrites identifiers the fingerprint legitimately keys on
+#: (function names hash raw) and "defines" rewrites the literal text of
+#: access lines, so only the pure-noise transforms are held to
+#: fingerprint identity: comment/blank-line injection and reordering of
+#: independent top-level chunks.
+FINGERPRINT_STABLE: frozenset[str] = frozenset({"comments", "reorder"})
+
 
 # ---------------------------------------------------------------------------
 # Isomorphism check
 # ---------------------------------------------------------------------------
+
+
+def fingerprint_multiset(result: AnalysisResult) -> Counter:
+    """Multiset of stable finding fingerprints (all checkers)."""
+    return Counter(
+        f.fingerprint for f in result.report.all_findings
+        if f.fingerprint is not None
+    )
 
 
 def normalized_findings(result: AnalysisResult,
@@ -182,6 +198,7 @@ def check_metamorphic(
     base = run_in_mode("serial", case.source)
     base_findings = normalized_findings(base, {})
     base_pairings = normalized_pairings(base, {})
+    base_fingerprints = fingerprint_multiset(base)
 
     problems: list[str] = []
     for name in names:
@@ -204,4 +221,14 @@ def check_metamorphic(
                 f"{name}/pairings", base_pairings,
                 normalized_pairings(result, back),
             ))
+        if name in FINGERPRINT_STABLE:
+            # Pure-noise transforms must not move a single finding's
+            # persistent identity — otherwise the store would misreport
+            # every comment edit as resolved + new.
+            transformed_fps = fingerprint_multiset(result)
+            if transformed_fps != base_fingerprints:
+                problems.append(_describe_diff(
+                    f"{name}/fingerprints", base_fingerprints,
+                    transformed_fps,
+                ))
     return problems

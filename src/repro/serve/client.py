@@ -146,6 +146,45 @@ class ServeClient:
         suffix = "?wait=1" if wait else ""
         return self._request("POST", f"/v1/reanalyze{suffix}", body)
 
+    # -- findings store ----------------------------------------------------
+
+    def runs(self, limit: int | None = None) -> dict[str, Any]:
+        suffix = f"?limit={limit}" if limit is not None else ""
+        return self._request("GET", f"/v1/runs{suffix}")
+
+    def run(self, run_id: int) -> dict[str, Any]:
+        return self._request("GET", f"/v1/runs/{run_id}")
+
+    def record_run(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """``POST /v1/runs``: persist pre-built finding records."""
+        return self._request("POST", "/v1/runs", payload)
+
+    def run_diff(self, run_a: int, run_b: int) -> dict[str, Any]:
+        return self._request("GET", f"/v1/runs/{run_a}/diff/{run_b}")
+
+    def findings(
+        self,
+        state: str | None = None,
+        checker: str | None = None,
+        suppress: bool = False,
+    ) -> dict[str, Any]:
+        params = []
+        if state is not None:
+            params.append(f"state={state}")
+        if checker is not None:
+            params.append(f"checker={checker}")
+        if suppress:
+            params.append("suppress=1")
+        suffix = "?" + "&".join(params) if params else ""
+        return self._request("GET", f"/v1/findings{suffix}")
+
+    def triage(self, fingerprint: str, state: str,
+               note: str = "") -> dict[str, Any]:
+        return self._request(
+            "POST", f"/v1/findings/{fingerprint}/triage",
+            {"state": state, "note": note},
+        )
+
     # -- convenience -------------------------------------------------------
 
     def submit_with_retry(

@@ -85,6 +85,8 @@ class AnalysisService:
         exec_workers: int | None = None,
         on_job_start: Callable[[Job], None] | None = None,
         on_job_done: Callable[[Job], None] | None = None,
+        store_dir: str | None = None,
+        store_label: str = "",
     ):
         #: Server-side execution strategy; wire options overlay the
         #: semantic knobs only (see ``repro.serve.wire``).
@@ -122,6 +124,15 @@ class AnalysisService:
         self._jobs_lock = threading.Lock()
         self._on_job_start = on_job_start
         self._on_job_done = on_job_done
+        #: Persistent findings store (``--store-dir``); every finished
+        #: analyze/reanalyze job auto-records a run into it, and the
+        #: /v1/runs + /v1/findings endpoints read from it.
+        self.store = None
+        self.store_label = store_label
+        if store_dir is not None:
+            from repro.store import FindingsStore
+
+            self.store = FindingsStore(store_dir)
         # Every daemon is also a cluster worker node: the shard
         # endpoints expose the executor stage offloads over HTTP (lazy
         # import — repro.serve.shard imports this module's ServeError).
@@ -315,15 +326,131 @@ class AnalysisService:
                         self.metrics.observe_trace(job.trace)
 
     def _absorb(self, engine: OFenceEngine, job: Job, result) -> None:
-        job.mark_done(result)
-        self.metrics.observe_job(job.kind, job.run_seconds or 0.0, ok=True)
         self.metrics.merge_profile(result.profile)
         # Merge-and-reset keeps the registry cumulative without
         # double-counting an engine's stats on its next job.
         self.metrics.merge_cache(replace(engine.disk_cache.stats))
         engine.disk_cache.stats = CacheStats()
+        if self.store is not None:
+            # Before mark_done: a waiter released by the done event must
+            # find the run already committed.  Inside _job_ctx, so the
+            # store.record span lands in the job's trace.  A store
+            # failure must not fail the job — the analysis result is
+            # already computed and absorbed.
+            from repro.serve.wire import encode_options
+
+            try:
+                self.store.record_run(
+                    result,
+                    tree_hash=job.tree_key or "",
+                    label=self.store_label,
+                    source=f"serve:{job.kind}",
+                    config=encode_options(job.options or engine.options),
+                )
+            except Exception:
+                self.metrics.increment("store.record_failed")
+        job.mark_done(result)
+        self.metrics.observe_job(job.kind, job.run_seconds or 0.0, ok=True)
         if self._on_job_done is not None:
             self._on_job_done(job)
+
+    # -- findings store ----------------------------------------------------
+
+    def _require_store(self):
+        if self.store is None:
+            raise ServeError(
+                404, "no findings store configured; start the daemon "
+                     "with --store-dir",
+            )
+        return self.store
+
+    def store_runs(self, limit: int | None = None) -> list[dict[str, Any]]:
+        store = self._require_store()
+        return [run.as_dict() for run in store.runs(limit=limit)]
+
+    def store_run(self, run_id: int) -> dict[str, Any]:
+        store = self._require_store()
+        from repro.store import UnknownRun
+
+        try:
+            return store.run(run_id).as_dict()
+        except UnknownRun as exc:
+            raise ServeError(404, str(exc)) from exc
+
+    def store_record(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """``POST /v1/runs``: persist pre-built finding records."""
+        store = self._require_store()
+        records = payload.get("records")
+        if not isinstance(records, list):
+            raise ServeError(400, "runs payload requires a records list")
+        from repro.store import StoreError
+
+        try:
+            outcome = store.record_run(
+                records=records,
+                tree_hash=str(payload.get("tree_hash", "")),
+                label=str(payload.get("label", self.store_label)),
+                source=str(payload.get("source", "api")),
+                config=payload.get("config") or {},
+                stats=payload.get("stats") or {},
+                duration=payload.get("duration"),
+            )
+        except StoreError as exc:
+            raise ServeError(400, str(exc)) from exc
+        return {
+            "run": outcome.run.as_dict(),
+            "new_fingerprints": outcome.new_fingerprints,
+            "known_fingerprints": outcome.known_fingerprints,
+            "reopened": outcome.reopened,
+        }
+
+    def store_diff(self, run_a: int, run_b: int) -> dict[str, Any]:
+        store = self._require_store()
+        from repro.store import StoreError, UnknownRun
+
+        try:
+            return store.diff(run_a, run_b).to_dict()
+        except UnknownRun as exc:
+            raise ServeError(404, str(exc)) from exc
+        except StoreError as exc:
+            raise ServeError(400, str(exc)) from exc
+
+    def store_findings(
+        self,
+        state: str | None = None,
+        checker: str | None = None,
+        suppress: bool = False,
+    ) -> list[dict[str, Any]]:
+        store = self._require_store()
+        from repro.store import TriageError
+
+        try:
+            found = store.findings(
+                state=state, checker=checker, suppress=suppress
+            )
+        except TriageError as exc:
+            raise ServeError(400, str(exc)) from exc
+        return [finding.as_dict() for finding in found]
+
+    def store_triage(
+        self, fingerprint: str, payload: dict[str, Any]
+    ) -> dict[str, Any]:
+        store = self._require_store()
+        state = payload.get("state")
+        if not state:
+            raise ServeError(400, "triage requires a state")
+        from repro.store import TriageError, UnknownFinding
+
+        try:
+            finding = store.triage(
+                fingerprint, str(state),
+                note=str(payload.get("note", "")), actor="api",
+            )
+        except UnknownFinding as exc:
+            raise ServeError(404, str(exc)) from exc
+        except TriageError as exc:
+            raise ServeError(400, str(exc)) from exc
+        return finding.as_dict()
 
     # -- observability -----------------------------------------------------
 
@@ -340,6 +467,8 @@ class AnalysisService:
         cluster = getattr(self.executor, "cluster_snapshot", None)
         if callable(cluster):
             gauges["cluster"] = cluster()
+        if self.store is not None:
+            gauges["store"] = self.store.stats()
         return gauges
 
     def health(self) -> dict[str, Any]:
@@ -360,6 +489,7 @@ class AnalysisService:
         for worker in self._workers:
             worker.join(timeout=5)
         self._close_executor()
+        self._close_store()
         return drained
 
     def close(self) -> None:
@@ -367,6 +497,11 @@ class AnalysisService:
         for worker in self._workers:
             worker.join(timeout=5)
         self._close_executor()
+        self._close_store()
+
+    def _close_store(self) -> None:
+        if self.store is not None:
+            self.store.close()
 
     def _close_executor(self) -> None:
         if self._owns_executor and self.executor is not None:
@@ -528,6 +663,25 @@ class _Handler(BaseHTTPRequestHandler):
                 )
             else:
                 self._dispatch(lambda: self._not_found(url.path), "unknown")
+        elif url.path == "/v1/runs":
+            self._dispatch(
+                lambda: self._send_json(
+                    200, self.service.store_record(self._read_body())
+                ),
+                "runs",
+            )
+        elif (url.path.startswith("/v1/findings/")
+                and url.path.endswith("/triage")):
+            fingerprint = url.path[len("/v1/findings/"):-len("/triage")]
+            self._dispatch(
+                lambda: self._send_json(
+                    200,
+                    self.service.store_triage(
+                        fingerprint, self._read_body()
+                    ),
+                ),
+                "triage",
+            )
         else:
             self._dispatch(lambda: self._not_found(url.path), "unknown")
 
@@ -545,6 +699,29 @@ class _Handler(BaseHTTPRequestHandler):
             ),
         })
 
+    def _store_get_response(self, path: str, query: dict) -> None:
+        """Route ``GET /v1/runs[...]``: list, one run, or a diff."""
+        def as_run_id(raw: str) -> int:
+            try:
+                return int(raw)
+            except ValueError:
+                raise ServeError(400, f"invalid run id {raw!r}") from None
+
+        if path == "/v1/runs":
+            raw_limit = query.get("limit", [None])[0]
+            limit = as_run_id(raw_limit) if raw_limit is not None else None
+            self._send_json(200, {"runs": self.service.store_runs(limit)})
+            return
+        parts = path[len("/v1/runs/"):].split("/")
+        if len(parts) == 1:
+            self._send_json(200, self.service.store_run(as_run_id(parts[0])))
+        elif len(parts) == 3 and parts[1] == "diff":
+            self._send_json(200, self.service.store_diff(
+                as_run_id(parts[0]), as_run_id(parts[2])
+            ))
+        else:
+            self._not_found(path)
+
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
         url = urlparse(self.path)
         query = parse_qs(url.query)
@@ -561,6 +738,20 @@ class _Handler(BaseHTTPRequestHandler):
                 lambda: self._job_response(self.service.job(job_id), query),
                 "jobs",
             )
+        elif url.path == "/v1/runs" or url.path.startswith("/v1/runs/"):
+            self._dispatch(
+                lambda: self._store_get_response(url.path, query), "store"
+            )
+        elif url.path == "/v1/findings":
+            def render_findings() -> None:
+                self._send_json(200, {"findings": self.service.store_findings(
+                    state=query.get("state", [None])[0],
+                    checker=query.get("checker", [None])[0],
+                    suppress=query.get("suppress", ["0"])[0]
+                    in ("1", "true"),
+                )})
+
+            self._dispatch(render_findings, "findings")
         elif url.path == "/metrics":
             fmt = query.get("format", ["json"])[0]
             accept = self.headers.get("Accept", "")

@@ -127,6 +127,7 @@ def result_summary(result: AnalysisResult) -> dict[str, Any]:
         "pairings": sig["pairings"],
         "unpaired": sig["unpaired"],
         "findings": sig["findings"],
+        "fingerprints": sig["fingerprints"],
         "patch_count": len(result.patches),
         "elapsed_seconds": result.elapsed_seconds,
         "stage_seconds": dict(result.stage_seconds),

@@ -1,0 +1,65 @@
+"""repro.store — persistent findings store with stable fingerprints.
+
+The memory between runs: every analysis can be recorded into a
+SQLite-backed store keyed by content-hash fingerprints that survive
+unrelated edits, enabling cross-revision diffing (*new / resolved /
+persistent / reappeared*) and a per-finding triage workflow
+(*open -> confirmed | false-positive | fixed*).
+"""
+
+from repro.store.db import (
+    DB_FILENAME,
+    FindingsStore,
+    RecordOutcome,
+    RunRecord,
+    StoreError,
+    StoredFinding,
+    UnknownFinding,
+    UnknownRun,
+)
+from repro.store.diff import CLASSES, DiffEntry, RunDiff, classify
+from repro.store.fingerprint import (
+    FINGERPRINT_VERSION,
+    attach_fingerprints,
+    compute_fingerprint,
+    context_window,
+    finding_record,
+    finding_records,
+    normalize_path,
+)
+from repro.store.triage import (
+    KNOWN_STATES,
+    STATES,
+    SUPPRESSED_STATES,
+    TRANSITIONS,
+    TriageError,
+    validate_transition,
+)
+
+__all__ = [
+    "CLASSES",
+    "DB_FILENAME",
+    "DiffEntry",
+    "FINGERPRINT_VERSION",
+    "FindingsStore",
+    "KNOWN_STATES",
+    "RecordOutcome",
+    "RunDiff",
+    "RunRecord",
+    "STATES",
+    "SUPPRESSED_STATES",
+    "StoreError",
+    "StoredFinding",
+    "TRANSITIONS",
+    "TriageError",
+    "UnknownFinding",
+    "UnknownRun",
+    "attach_fingerprints",
+    "classify",
+    "compute_fingerprint",
+    "context_window",
+    "finding_record",
+    "finding_records",
+    "normalize_path",
+    "validate_transition",
+]

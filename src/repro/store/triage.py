@@ -1,0 +1,73 @@
+"""The per-fingerprint triage state machine.
+
+Every stored finding carries one state::
+
+    open ──> confirmed ──> fixed
+      │          │           │
+      │          v           v
+      └──> false-positive   open   (reopen / automatic reappearance)
+
+* ``open`` — seen by the analysis, not yet looked at by a human;
+* ``confirmed`` — triaged as a real ordering bug;
+* ``false-positive`` — triaged as noise; **suppressed** from default
+  reports (but still counted in ``/metrics``);
+* ``fixed`` — the bug was addressed; a later sighting of the same
+  fingerprint automatically reopens it (the *reappeared* diff class).
+
+Free-text notes ride along with every transition and are kept as an
+append-only event log.
+"""
+
+from __future__ import annotations
+
+STATE_OPEN = "open"
+STATE_CONFIRMED = "confirmed"
+STATE_FALSE_POSITIVE = "false-positive"
+STATE_FIXED = "fixed"
+
+#: Every valid state, in display order.
+STATES: tuple[str, ...] = (
+    STATE_OPEN, STATE_CONFIRMED, STATE_FALSE_POSITIVE, STATE_FIXED,
+)
+
+#: state -> states a human may move it to.  Same-state transitions are
+#: always allowed (they update the note without changing identity).
+TRANSITIONS: dict[str, frozenset[str]] = {
+    STATE_OPEN: frozenset(
+        {STATE_CONFIRMED, STATE_FALSE_POSITIVE, STATE_FIXED}
+    ),
+    STATE_CONFIRMED: frozenset(
+        {STATE_FIXED, STATE_FALSE_POSITIVE, STATE_OPEN}
+    ),
+    STATE_FALSE_POSITIVE: frozenset({STATE_OPEN, STATE_CONFIRMED}),
+    STATE_FIXED: frozenset({STATE_OPEN, STATE_CONFIRMED}),
+}
+
+#: States filtered from *default* reports (confirmed noise).
+SUPPRESSED_STATES: frozenset[str] = frozenset({STATE_FALSE_POSITIVE})
+
+#: States ``report --suppress-known`` drops: anything a human already
+#: triaged — the daily report should only surface what still needs
+#: eyes.
+KNOWN_STATES: frozenset[str] = frozenset(
+    {STATE_CONFIRMED, STATE_FALSE_POSITIVE, STATE_FIXED}
+)
+
+
+class TriageError(ValueError):
+    """An invalid triage state or transition."""
+
+
+def validate_transition(current: str, target: str) -> None:
+    """Raise :class:`TriageError` unless ``current -> target`` is legal."""
+    if target not in STATES:
+        raise TriageError(
+            f"unknown triage state {target!r}; valid: {', '.join(STATES)}"
+        )
+    if current not in TRANSITIONS:
+        raise TriageError(f"finding has corrupt state {current!r}")
+    if target != current and target not in TRANSITIONS[current]:
+        allowed = ", ".join(sorted(TRANSITIONS[current]))
+        raise TriageError(
+            f"cannot move {current!r} -> {target!r}; allowed: {allowed}"
+        )

@@ -64,7 +64,9 @@ class TestPipeline:
 
     def test_stage_timings_recorded(self, engine_for):
         result = engine_for({"w.c": WRITER}).analyze()
-        assert set(result.stage_seconds) == {"scan", "pair", "check", "patch"}
+        assert set(result.stage_seconds) == {
+            "scan", "pair", "check", "fingerprint", "patch"
+        }
 
     def test_parse_failures_reported_not_fatal(self, engine_for):
         engine = engine_for({

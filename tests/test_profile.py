@@ -47,7 +47,9 @@ class TestEngineProfile:
     def test_result_carries_profile(self):
         result = OFenceEngine(KernelSource(files=dict(self.SRC))).analyze()
         assert result.profile.coarse() == result.stage_seconds
-        assert set(result.stage_seconds) == {"scan", "pair", "check", "patch"}
+        assert set(result.stage_seconds) == {
+            "scan", "pair", "check", "fingerprint", "patch"
+        }
         assert "pair.sync" in result.profile.stages
         assert result.profile.counters["scan.scanned"] == 1
 

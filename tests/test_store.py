@@ -1,0 +1,277 @@
+"""Unit tests for the persistent findings store (``repro.store``).
+
+Covers run recording, dedup bookkeeping, the triage state machine
+(including invalid transitions and suppression semantics), automatic
+reopening of fixed findings, stats, and the concurrent-writer hammer.
+"""
+
+import threading
+
+import pytest
+
+from repro.store import (
+    FindingsStore,
+    StoreError,
+    TriageError,
+    UnknownFinding,
+    UnknownRun,
+    validate_transition,
+)
+
+
+def rec(fp: str, kind: str = "missing-annotation", line: int = 10,
+        file: str = "a.c", function: str = "f") -> dict:
+    return {
+        "fingerprint": fp, "kind": kind, "file": file,
+        "function": function, "line": line, "object": "(s, x)",
+        "fix": "add-annotation", "primitive": "smp_wmb",
+        "explanation": "needs annotation",
+    }
+
+
+@pytest.fixture
+def store(tmp_path):
+    with FindingsStore(tmp_path / "store") as st:
+        yield st
+
+
+class TestRecording:
+    def test_record_and_list_runs(self, store):
+        out = store.record_run(
+            records=[rec("aa"), rec("bb")], tree_hash="t1", label="first",
+        )
+        assert out.run.id == 1
+        assert out.new_fingerprints == ["aa", "bb"]
+        assert out.known_fingerprints == []
+        runs = store.runs()
+        assert [r.id for r in runs] == [1]
+        assert runs[0].finding_count == 2
+        assert runs[0].checker_counts == {"missing-annotation": 2}
+        assert runs[0].label == "first"
+
+    def test_dedup_counters(self, store):
+        store.record_run(records=[rec("aa"), rec("bb")], tree_hash="t1")
+        out = store.record_run(
+            records=[rec("bb"), rec("cc")], tree_hash="t2"
+        )
+        assert out.new_fingerprints == ["cc"]
+        assert out.known_fingerprints == ["bb"]
+        run = store.run(out.run.id)
+        assert (run.dedup_new, run.dedup_hits) == (1, 1)
+        finding = store.finding("bb")
+        assert finding.times_seen == 2
+        assert (finding.first_seen_run, finding.last_seen_run) == (1, 2)
+
+    def test_duplicate_fingerprints_in_one_run_fold(self, store):
+        out = store.record_run(
+            records=[rec("aa", line=3), rec("aa", line=9)], tree_hash="t",
+        )
+        assert out.new_fingerprints == ["aa"]
+        assert store.finding("aa").times_seen == 2
+
+    def test_records_require_fingerprints(self, store):
+        bad = rec("aa")
+        bad["fingerprint"] = ""
+        with pytest.raises(StoreError):
+            store.record_run(records=[bad], tree_hash="t")
+
+    def test_run_limit_and_unknown_run(self, store):
+        for i in range(4):
+            store.record_run(records=[rec("aa")], tree_hash=f"t{i}")
+        assert [r.id for r in store.runs(limit=2)] == [3, 4]
+        with pytest.raises(UnknownRun):
+            store.run(99)
+
+    def test_store_path_accepts_file_and_dir(self, tmp_path):
+        with FindingsStore(tmp_path / "dir") as st:
+            assert st.path.name == "findings.sqlite"
+        with FindingsStore(tmp_path / "explicit.sqlite") as st:
+            assert st.path.name == "explicit.sqlite"
+
+    def test_reopen_same_directory(self, tmp_path):
+        with FindingsStore(tmp_path) as st:
+            st.record_run(records=[rec("aa")], tree_hash="t")
+        with FindingsStore(tmp_path) as st:
+            assert len(st.runs()) == 1
+            assert st.finding("aa").state == "open"
+
+    def test_closed_store_raises(self, tmp_path):
+        st = FindingsStore(tmp_path)
+        st.close()
+        with pytest.raises(StoreError):
+            st.runs()
+
+
+class TestTriage:
+    def test_transitions_and_notes(self, store):
+        store.record_run(records=[rec("aa")], tree_hash="t")
+        finding = store.triage("aa", "confirmed", note="real")
+        assert (finding.state, finding.note) == ("confirmed", "real")
+        events = store.triage_events("aa")
+        assert [(e["from_state"], e["to_state"]) for e in events] == [
+            ("open", "confirmed")
+        ]
+
+    def test_invalid_transition_rejected(self, store):
+        store.record_run(records=[rec("aa")], tree_hash="t")
+        store.triage("aa", "false-positive")
+        with pytest.raises(TriageError):
+            store.triage("aa", "fixed")
+        assert store.finding("aa").state == "false-positive"
+
+    def test_unknown_state_and_fingerprint(self, store):
+        store.record_run(records=[rec("aa")], tree_hash="t")
+        with pytest.raises(TriageError):
+            store.triage("aa", "bogus")
+        with pytest.raises(UnknownFinding):
+            store.triage("zz", "confirmed")
+
+    def test_same_state_updates_note(self, store):
+        store.record_run(records=[rec("aa")], tree_hash="t")
+        store.triage("aa", "confirmed", note="one")
+        finding = store.triage("aa", "confirmed", note="two")
+        assert finding.note == "two"
+
+    def test_validate_transition_table(self):
+        validate_transition("open", "confirmed")
+        validate_transition("fixed", "open")
+        validate_transition("false-positive", "confirmed")
+        with pytest.raises(TriageError):
+            validate_transition("false-positive", "fixed")
+
+    def test_suppression_semantics(self, store):
+        store.record_run(
+            records=[rec("aa"), rec("bb"), rec("cc")], tree_hash="t"
+        )
+        store.triage("aa", "false-positive")
+        store.triage("bb", "confirmed")
+        default_view = [f.fingerprint for f in store.findings(suppress=True)]
+        assert default_view == ["bb", "cc"]
+        # Explicitly queryable, and still counted in stats.
+        assert [f.fingerprint for f in store.findings(
+            state="false-positive"
+        )] == ["aa"]
+        assert store.stats()["findings_false_positive"] == 1
+
+    def test_findings_filters(self, store):
+        store.record_run(
+            records=[rec("aa"), rec("bb", kind="misplaced-read")],
+            tree_hash="t",
+        )
+        assert [f.fingerprint for f in store.findings(
+            checker="misplaced-read"
+        )] == ["bb"]
+        with pytest.raises(TriageError):
+            store.findings(state="bogus")
+
+    def test_fixed_reopens_on_resighting(self, store):
+        store.record_run(records=[rec("aa")], tree_hash="t1")
+        store.triage("aa", "fixed", note="patched upstream")
+        out = store.record_run(records=[rec("aa")], tree_hash="t2")
+        assert out.reopened == ["aa"]
+        assert store.finding("aa").state == "open"
+        events = store.triage_events("aa")
+        assert events[-1]["actor"] == "store"
+        assert events[-1]["from_state"] == "fixed"
+
+    def test_false_positive_stays_suppressed_on_resighting(self, store):
+        store.record_run(records=[rec("aa")], tree_hash="t1")
+        store.triage("aa", "false-positive")
+        out = store.record_run(records=[rec("aa")], tree_hash="t2")
+        assert out.reopened == []
+        assert store.finding("aa").state == "false-positive"
+
+
+class TestStats:
+    def test_stats_shape(self, store):
+        stats = store.stats()
+        assert stats["runs"] == 0
+        assert stats["dedup_hit_rate"] == 0.0
+        store.record_run(records=[rec("aa"), rec("bb")], tree_hash="t1")
+        store.record_run(records=[rec("aa")], tree_hash="t2")
+        stats = store.stats()
+        assert stats["runs"] == 2
+        assert stats["findings"] == 2
+        assert stats["findings_open"] == 2
+        assert stats["sightings"] == 3
+        assert stats["dedup_new"] == 2
+        assert stats["dedup_hits"] == 1
+        assert stats["dedup_hit_rate"] == pytest.approx(1 / 3)
+        assert stats["last_run_id"] == 2
+
+
+class TestConcurrency:
+    def test_hammer_concurrent_writers(self, tmp_path):
+        """Many threads over multiple store instances on one directory:
+        every run lands atomically, nothing corrupts or interleaves."""
+        instances = [FindingsStore(tmp_path) for _ in range(3)]
+        runs_per_thread = 8
+        errors: list[Exception] = []
+
+        def writer(instance: FindingsStore, worker: int) -> None:
+            try:
+                for i in range(runs_per_thread):
+                    instance.record_run(
+                        records=[
+                            rec(f"shared{i % 4}"),
+                            rec(f"w{worker}i{i}"),
+                        ],
+                        tree_hash=f"w{worker}",
+                        source=f"worker-{worker}",
+                    )
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=writer, args=(instances[t % 3], t))
+            for t in range(6)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        runs = instances[0].runs()
+        assert len(runs) == 6 * runs_per_thread
+        # Every run recorded exactly its two findings — no partial or
+        # interleaved writes.
+        assert all(run.finding_count == 2 for run in runs)
+        stats = instances[0].stats()
+        assert stats["sightings"] == 2 * len(runs)
+        for instance in instances:
+            instance.close()
+
+    def test_concurrent_triage_and_record(self, tmp_path):
+        with FindingsStore(tmp_path) as store:
+            store.record_run(records=[rec("aa")], tree_hash="t0")
+            stop = threading.Event()
+            errors: list[Exception] = []
+
+            def recorder() -> None:
+                try:
+                    for i in range(10):
+                        store.record_run(
+                            records=[rec("aa")], tree_hash=f"t{i}"
+                        )
+                except Exception as exc:  # pragma: no cover
+                    errors.append(exc)
+                finally:
+                    stop.set()
+
+            def triager() -> None:
+                state = "confirmed"
+                while not stop.is_set():
+                    try:
+                        store.triage("aa", state)
+                    except TriageError:
+                        pass
+                    state = "open" if state == "confirmed" else "confirmed"
+
+            threads = [threading.Thread(target=recorder),
+                       threading.Thread(target=triager)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert errors == []
+            assert store.finding("aa").times_seen == 11

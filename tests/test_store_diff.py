@@ -1,0 +1,179 @@
+"""Diff classifier tests: planted deltas, counting invariants, mirror
+symmetry, and bit-for-bit determinism.
+
+The property suite drives :func:`repro.store.diff.classify` with
+arbitrary synthetic runs and holds the documented invariants::
+
+    new + reappeared + persistent == |run B|
+    resolved + persistent         == |run A|
+    diff(A, B).resolved == diff(B, A).new + diff(B, A).reappeared
+"""
+
+import random
+
+from repro.core.engine import KernelSource, OFenceEngine
+from repro.store import FindingsStore, classify
+
+WRITER = (
+    "struct s { int flag; int data; };\n"
+    "void w(struct s *p) { p->data = 1; smp_wmb(); p->flag = 1; }\n"
+)
+READER = (
+    "struct s { int flag; int data; };\n"
+    "void r(struct s *p) {\n"
+    "\tif (!p->flag) return;\n"
+    "\tsmp_rmb();\n"
+    "\tg(p->data);\n"
+    "}\n"
+)
+#: READER with the flag check moved after the barrier: plants a
+#: misplaced-read finding the base tree does not have.
+BUGGY_READER = READER.replace(
+    "\tif (!p->flag) return;\n\tsmp_rmb();",
+    "\tsmp_rmb();\n\tif (!p->flag) return;",
+)
+
+
+def row(fp: str) -> dict:
+    return {
+        "fingerprint": fp, "kind": "missing-annotation", "file": "a.c",
+        "function": "f", "line": 5, "explanation": "e", "state": "open",
+    }
+
+
+def rows(fps) -> dict[str, dict]:
+    return {fp: row(fp) for fp in fps}
+
+
+def record_result(store: FindingsStore, result, tree: str) -> int:
+    return store.record_run(result, tree_hash=tree).run.id
+
+
+class TestPlantedDelta:
+    def test_injected_bug_shows_up_as_exactly_the_new_findings(
+        self, tmp_path
+    ):
+        base = OFenceEngine(KernelSource(
+            files={"w.c": WRITER, "r.c": READER}
+        )).analyze()
+        buggy = OFenceEngine(KernelSource(
+            files={"w.c": WRITER, "r.c": BUGGY_READER}
+        )).analyze()
+        base_fps = {f.fingerprint for f in base.report.all_findings}
+        buggy_fps = {f.fingerprint for f in buggy.report.all_findings}
+        planted = buggy_fps - base_fps
+        assert planted  # the edit introduces at least one finding
+
+        with FindingsStore(tmp_path) as store:
+            a = record_result(store, base, "rev-a")
+            b = record_result(store, buggy, "rev-b")
+            diff = store.diff(a, b)
+        assert {e.fingerprint for e in diff.new} == planted
+        assert not diff.reappeared
+        assert {e.fingerprint for e in diff.resolved} == \
+            base_fps - buggy_fps
+        assert {e.fingerprint for e in diff.persistent} == \
+            base_fps & buggy_fps
+
+    def test_fix_then_regress_is_reappeared(self, tmp_path):
+        base = OFenceEngine(KernelSource(
+            files={"w.c": WRITER, "r.c": BUGGY_READER}
+        )).analyze()
+        fixed = OFenceEngine(KernelSource(
+            files={"w.c": WRITER, "r.c": READER}
+        )).analyze()
+        with FindingsStore(tmp_path) as store:
+            record_result(store, base, "rev-a")        # bug present
+            a = record_result(store, fixed, "rev-b")   # bug fixed
+            b = record_result(store, base, "rev-c")    # bug regressed
+            diff = store.diff(a, b)
+        base_fps = {
+            f.fingerprint for f in base.report.all_findings
+        }
+        fixed_fps = {
+            f.fingerprint for f in fixed.report.all_findings
+        }
+        assert {e.fingerprint for e in diff.reappeared} == \
+            base_fps - fixed_fps
+        assert not diff.new  # everything was already known from rev-a
+
+
+class TestCountingInvariants:
+    def test_property_random_runs(self):
+        rng = random.Random(7)
+        universe = [f"fp{i:02d}" for i in range(24)]
+        for trial in range(200):
+            run_a = rows(rng.sample(universe, rng.randrange(0, 16)))
+            run_b = rows(rng.sample(universe, rng.randrange(0, 16)))
+            seen = frozenset(rng.sample(universe, rng.randrange(0, 24)))
+
+            fwd = classify(1, 2, run_a, run_b, seen)
+            counts = fwd.counts
+            assert counts["new"] + counts["reappeared"] \
+                + counts["persistent"] == len(run_b)
+            assert counts["resolved"] + counts["persistent"] == len(run_a)
+            # Every fingerprint lands in exactly one class.
+            classified = (
+                [e.fingerprint for e in fwd.new]
+                + [e.fingerprint for e in fwd.reappeared]
+                + [e.fingerprint for e in fwd.persistent]
+                + [e.fingerprint for e in fwd.resolved]
+            )
+            assert len(classified) == len(set(classified))
+            assert set(classified) == set(run_a) | set(run_b)
+
+    def test_mirror_symmetry(self):
+        rng = random.Random(13)
+        universe = [f"fp{i:02d}" for i in range(20)]
+        for trial in range(100):
+            run_a = rows(rng.sample(universe, rng.randrange(0, 14)))
+            run_b = rows(rng.sample(universe, rng.randrange(0, 14)))
+            fwd = classify(1, 2, run_a, run_b, frozenset(universe))
+            rev = classify(2, 1, run_b, run_a, frozenset(universe))
+            assert {e.fingerprint for e in fwd.resolved} == \
+                {e.fingerprint for e in rev.new} \
+                | {e.fingerprint for e in rev.reappeared}
+            assert {e.fingerprint for e in fwd.persistent} == \
+                {e.fingerprint for e in rev.persistent}
+
+    def test_empty_runs(self):
+        diff = classify(1, 2, {}, {}, frozenset())
+        assert diff.counts == {
+            "new": 0, "reappeared": 0, "persistent": 0, "resolved": 0
+        }
+
+    def test_reappeared_requires_history(self):
+        only_b = rows(["aa"])
+        no_history = classify(1, 2, {}, only_b, frozenset())
+        assert [e.fingerprint for e in no_history.new] == ["aa"]
+        with_history = classify(1, 2, {}, only_b, frozenset({"aa"}))
+        assert [e.fingerprint for e in with_history.reappeared] == ["aa"]
+        assert not with_history.new
+
+
+class TestDeterminism:
+    def test_diff_json_is_canonical(self):
+        run_a = rows(["cc", "aa", "bb"])
+        run_b = rows(["bb", "dd", "aa"])
+        one = classify(1, 2, run_a, run_b).to_json()
+        two = classify(
+            1, 2, dict(reversed(run_a.items())),
+            dict(reversed(run_b.items())),
+        ).to_json()
+        assert one == two
+        assert one.endswith("\n")
+
+    def test_two_stores_same_records_identical_bytes(self, tmp_path):
+        result_a = OFenceEngine(KernelSource(
+            files={"w.c": WRITER, "r.c": READER}
+        )).analyze()
+        result_b = OFenceEngine(KernelSource(
+            files={"w.c": WRITER, "r.c": BUGGY_READER}
+        )).analyze()
+        outputs = []
+        for name in ("one", "two"):
+            with FindingsStore(tmp_path / name) as store:
+                record_result(store, result_a, "rev-a")
+                record_result(store, result_b, "rev-b")
+                outputs.append(store.diff().to_json())
+        assert outputs[0] == outputs[1]
