@@ -1,0 +1,138 @@
+"""Publish-before-init deviations on acquire/release pairings.
+
+``smp_store_release`` is a one-sided barrier: it orders the writes
+*before* it against the store it performs itself.  In the publication
+idiom (Listing 1 via acquire/release) the writer initializes the
+payload, then releases the ready flag; the reader acquires the flag and
+only then touches the payload.  A payload write placed *after* the
+release therefore escapes the guarantee — a reader that already passed
+its ``smp_load_acquire`` check can observe the uninitialized payload.
+
+The checker identifies release/acquire duos through the kernel KB's
+implied-access metadata (``ImpliedAccess.STORE_AFTER`` publishes,
+``ImpliedAccess.LOAD_BEFORE`` consumes) rather than primitive names, and
+excludes the published cell itself — the object the two primitives
+access directly is exactly what they order.
+
+Flagged objects are claimed (like re-reads) so the misplaced checker
+does not also propose moving the *read*: the write is the deviation, and
+the fix moves it back before the release.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.accesses import ObjectKey
+from repro.analysis.barrier_scan import BarrierSite, ObjectUse
+from repro.checkers.model import DeviationKind, Finding, FixAction
+from repro.kernel.barriers import ImpliedAccess, barrier_spec
+from repro.pairing.model import Pairing
+
+
+@dataclass
+class AcquireReleaseResult:
+    findings: list[Finding]
+    #: (id(pairing), object) keys claimed, so the misplaced checker skips
+    #: them (the fix moves the write, not the read).
+    claimed: set[tuple[int, ObjectKey]]
+
+
+class AcquireReleaseChecker:
+    """Finds payload writes published before their initialization."""
+
+    def check(self, pairings: list[Pairing]) -> AcquireReleaseResult:
+        findings: list[Finding] = []
+        claimed: set[tuple[int, ObjectKey]] = set()
+        for pairing in pairings:
+            if pairing.is_multi:
+                continue  # §5.3: multi pairings are checked per duo
+            roles = _release_acquire_roles(pairing)
+            if roles is None:
+                continue
+            writer, reader = roles
+            published = _published_keys(writer, reader)
+            for key in pairing.common_objects:
+                if key in published:
+                    continue  # the flag cell the primitives themselves order
+                finding = self._check_object(pairing, writer, reader, key)
+                if finding is not None:
+                    findings.append(finding)
+                    claimed.add((id(pairing), key))
+        return AcquireReleaseResult(findings=findings, claimed=claimed)
+
+    def _check_object(
+        self,
+        pairing: Pairing,
+        writer: BarrierSite,
+        reader: BarrierSite,
+        key: ObjectKey,
+    ) -> Finding | None:
+        late_writes = [
+            u for u in writer.uses
+            if u.key == key and u.kind.writes and u.inlined_from is None
+            and u.side == "after" and u.access.via != writer.primitive
+        ]
+        if not late_writes:
+            return None
+        offending = min(late_writes, key=lambda u: u.distance)
+        explanation = (
+            f"{key} is written after the {writer.primitive} publish in "
+            f"{writer.function}; the release orders only the writes "
+            f"before it, so a reader passing the {reader.primitive} "
+            f"check in {reader.function} can observe an uninitialized "
+            f"{key}. Moving the write before the release restores the "
+            f"publication guarantee."
+        )
+        return Finding(
+            kind=DeviationKind.PUBLISH_BEFORE_INIT,
+            filename=writer.filename,
+            function=writer.function,
+            line=offending.access.line,
+            explanation=explanation,
+            fix_action=FixAction.MOVE_WRITE,
+            object_key=key,
+            barrier=writer,
+            pairing=pairing,
+            use=offending,
+            details={"move_to": "before"},
+        )
+
+
+def _release_acquire_roles(
+    pairing: Pairing,
+) -> tuple[BarrierSite, BarrierSite] | None:
+    """(release writer, acquire reader) of a two-barrier pairing, by the
+    KB's implied-access metadata; None when the duo is not one release
+    plus one acquire."""
+    release: BarrierSite | None = None
+    acquire: BarrierSite | None = None
+    for site in pairing.barriers:
+        spec = barrier_spec(site.primitive)
+        if spec is None:
+            continue
+        if spec.implied_access is ImpliedAccess.STORE_AFTER:
+            if release is not None:
+                return None
+            release = site
+        elif spec.implied_access is ImpliedAccess.LOAD_BEFORE:
+            if acquire is not None:
+                return None
+            acquire = site
+    if release is None or acquire is None:
+        return None
+    return release, acquire
+
+
+def _published_keys(
+    writer: BarrierSite, reader: BarrierSite
+) -> set[ObjectKey]:
+    """The cells the release/acquire calls access themselves."""
+
+    def implied(site: BarrierSite) -> set[ObjectKey]:
+        return {
+            use.key for use in site.uses
+            if use.access.via == site.primitive
+        }
+
+    return implied(writer) | implied(reader)

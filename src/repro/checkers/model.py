@@ -18,6 +18,11 @@ class DeviationKind(enum.Enum):
     REPEATED_READ = "repeated-read"
     UNNEEDED_BARRIER = "unneeded-barrier"
     MISSING_ANNOTATION = "missing-annotation"
+    #: A payload write placed after its ``smp_store_release`` publish:
+    #: the one-sided barrier orders only the writes before it, so a
+    #: reader passing the paired ``smp_load_acquire`` check may observe
+    #: uninitialized payload.
+    PUBLISH_BEFORE_INIT = "publish-before-init"
 
     @property
     def table3_bucket(self) -> str | None:
@@ -35,6 +40,7 @@ class FixAction(enum.Enum):
     """What the generated patch does."""
 
     MOVE_READ = "move-read"
+    MOVE_WRITE = "move-write"
     REPLACE_BARRIER = "replace-barrier"
     REUSE_VALUE = "reuse-value"
     REMOVE_BARRIER = "remove-barrier"

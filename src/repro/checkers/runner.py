@@ -1,24 +1,33 @@
-"""Runs all checkers in the order the deviations compose (§5).
+"""Runs the registered checkers in the order the deviations compose (§5).
 
-Re-reads are detected first: a re-read object is patched by value reuse,
-so the misplaced checker must not also move it.  Seqcount duos own their
-multi-barrier pairings.  Unneeded-barrier detection runs on the barriers
-pairing left alone.  Annotation proposals (§7) run last, only on pairings
-with no ordering findings.
+Composition and ordering are registry-driven (see
+:mod:`repro.checkers.registry`): ordering-bucket checkers run first with
+claims threaded between them (a re-read or publish-before-init object is
+patched at its own deviation, so the misplaced checker must not also
+move it), unneeded-barrier detection runs on the barriers pairing left
+alone, and annotation proposals (§7) run last, only on pairings with no
+ordering findings.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.checkers import registry
 from repro.checkers.annotate import AnnotationChecker
 from repro.checkers.misplaced import MisplacedAccessChecker
-from repro.checkers.model import DeviationKind, Finding
+from repro.checkers.model import Finding
 from repro.checkers.reread import RepeatedReadChecker
 from repro.checkers.seqcount import SeqcountChecker
 from repro.checkers.unneeded import UnneededBarrierChecker
 from repro.checkers.wrong_type import WrongBarrierTypeChecker
 from repro.pairing.model import PairingResult
+
+__all__ = [
+    "ALL_CHECKS", "CheckerFailure", "CheckerSuite", "CheckReport",
+    "AnnotationChecker", "MisplacedAccessChecker", "RepeatedReadChecker",
+    "SeqcountChecker", "UnneededBarrierChecker", "WrongBarrierTypeChecker",
+]
 
 
 @dataclass
@@ -27,6 +36,10 @@ class CheckerFailure:
 
     checker: str
     error: str
+    #: Cluster node label the failing shard ran on ("" when local).
+    #: Excluded from :meth:`describe` so run signatures stay mode-
+    #: independent — the label is context, not part of the outcome.
+    node: str = ""
 
     def describe(self) -> str:
         return f"checker {self.checker} failed: {self.error}"
@@ -52,11 +65,9 @@ class CheckReport:
         )
 
     def table3_breakdown(self) -> dict[str, int]:
-        """Counts per Table 3 bucket."""
+        """Counts per Table 3 bucket (derived from the registry)."""
         buckets: dict[str, int] = {
-            "Misplaced memory access": 0,
-            "Racy variable re-read after the read barrier": 0,
-            "Read barrier used instead of a write barrier": 0,
+            name: 0 for name in registry.table3_buckets()
         }
         for finding in self.ordering_findings:
             bucket = finding.kind.table3_bucket
@@ -65,15 +76,20 @@ class CheckReport:
         return buckets
 
 
-#: Names accepted by ``CheckerSuite(checks=...)``.
-ALL_CHECKS = frozenset(
-    {"misplaced", "reread", "wrong-type", "seqcount", "unneeded",
-     "annotate"}
-)
+#: Names accepted by ``CheckerSuite(checks=...)`` — every registered
+#: checker.
+ALL_CHECKS = registry.all_names()
+
+#: Bucket of :class:`CheckReport` each registry bucket fills.
+_BUCKET_FIELDS = {
+    registry.ORDERING: "ordering_findings",
+    registry.UNNEEDED: "unneeded_findings",
+    registry.ANNOTATION: "annotation_findings",
+}
 
 
 class CheckerSuite:
-    """Composes the §5 checkers over a pairing result.
+    """Composes the registered checkers over a pairing result.
 
     ``checks`` selects the enabled checkers by name (see
     :data:`ALL_CHECKS`); unknown names raise ``ValueError``.  The
@@ -81,29 +97,21 @@ class CheckerSuite:
     the "annotate" check.
     """
 
-    #: Checkers that need per-function CFGs; these are the ones a
-    #: ``shard_runner`` may execute out-of-process (the rest are cheap
-    #: and identity-bound, so they always run inline).
-    CFG_CHECKS = ("reread", "seqcount")
-
     def __init__(self, cfg_lookup=None, annotate: bool = True,
                  checks: set[str] | frozenset[str] | None = None,
                  shard_runner=None):
         self._cfg_lookup = cfg_lookup
         if checks is None:
-            checks = set(ALL_CHECKS)
+            checks = set(registry.all_names())
             if not annotate:
                 checks.discard("annotate")
-        unknown = set(checks) - ALL_CHECKS
-        if unknown:
-            raise ValueError(f"unknown checks: {sorted(unknown)}")
-        self._checks = frozenset(checks)
-        self._annotate = "annotate" in self._checks
+        self._checks = registry.validate_checks(checks)
         #: ``shard_runner(check_list, wanted) -> {checker: ("ok",
-        #: result) | ("err", message)} | None`` — the engine's executor
-        #: hook.  A checker absent from the dict (or a ``None`` return)
-        #: falls back to the inline path below; "err" reproduces the
-        #: serial ``_guarded`` outcome for a checker that raised.
+        #: findings, claimed) | ("err", message, node)} | None`` — the
+        #: engine's executor hook.  A checker absent from the dict (or a
+        #: ``None`` return) falls back to the inline path below; "err"
+        #: reproduces the serial ``_guarded`` outcome for a checker that
+        #: raised, tagged with the node label the shard ran on.
         self._shard_runner = shard_runner
 
     def enabled(self, name: str) -> bool:
@@ -124,96 +132,69 @@ class CheckerSuite:
 
         shard: dict = {}
         if self._shard_runner is not None:
-            wanted = [c for c in self.CFG_CHECKS if self.enabled(c)]
+            wanted = [
+                spec.name for spec in registry.shardable_specs()
+                if self.enabled(spec.name)
+            ]
             if wanted:
                 shard = self._shard_runner(check_list, tuple(wanted)) or {}
 
-        claimed: set = set()
-        if self.enabled("reread"):
-            outcome = shard.get("reread")
+        ctx = registry.CheckContext(
+            pairings=list(result.pairings),
+            check_list=check_list,
+            unpaired=result.unpaired + result.implicit_ipc,
+            cfg_lookup=self._cfg_lookup,
+        )
+
+        for spec in registry.bucket_specs(registry.ORDERING):
+            if not self.enabled(spec.name):
+                continue
+            outcome = shard.get(spec.name)
             if outcome is not None and outcome[0] == "ok":
-                reread_result = outcome[1]
+                findings, claimed = outcome[1], outcome[2]
             elif outcome is not None:
+                node = outcome[2] if len(outcome) > 2 else ""
                 report.checker_failures.append(
-                    CheckerFailure("reread", outcome[1])
+                    CheckerFailure(spec.name, outcome[1], node=node)
                 )
-                reread_result = None
+                continue
             else:
-                reread = RepeatedReadChecker(self._cfg_lookup)
-                reread_result = self._guarded(
-                    report, "reread", lambda: reread.check(check_list)
+                ran = self._guarded(
+                    report, spec.name, lambda spec=spec: spec.run(ctx)
                 )
-            if reread_result is not None:
-                report.ordering_findings.extend(reread_result.findings)
-                claimed = reread_result.claimed
-
-        if self.enabled("misplaced"):
-            misplaced = MisplacedAccessChecker(skip=claimed)
-            report.ordering_findings.extend(
-                self._guarded(
-                    report, "misplaced", lambda: misplaced.check(check_list)
-                ) or []
-            )
-
-        if self.enabled("wrong-type"):
-            wrong_type = WrongBarrierTypeChecker()
-            report.ordering_findings.extend(
-                self._guarded(
-                    report, "wrong-type",
-                    lambda: wrong_type.check(result.pairings),
-                ) or []
-            )
-
-        if self.enabled("seqcount"):
-            outcome = shard.get("seqcount")
-            if outcome is not None and outcome[0] == "ok":
-                # Shards cover ``check_list``, whose extra entries
-                # (broadcast slices) are non-multi and contribute no
-                # seqcount findings — same output as ``result.pairings``.
-                report.ordering_findings.extend(outcome[1])
-            elif outcome is not None:
-                report.checker_failures.append(
-                    CheckerFailure("seqcount", outcome[1])
-                )
-            else:
-                seqcount = SeqcountChecker(self._cfg_lookup)
-                report.ordering_findings.extend(
-                    self._guarded(
-                        report, "seqcount",
-                        lambda: seqcount.check(result.pairings),
-                    ) or []
-                )
+                if ran is None:
+                    continue
+                findings, claimed = ran
+            report.ordering_findings.extend(findings)
+            ctx.claimed |= claimed
 
         report.ordering_findings = _dedupe_findings(
             report.ordering_findings
         )
 
-        if self.enabled("unneeded"):
-            unneeded = UnneededBarrierChecker()
-            report.unneeded_findings.extend(
-                self._guarded(
-                    report, "unneeded",
-                    lambda: unneeded.check(
-                        result.unpaired + result.implicit_ipc
-                    ),
-                ) or []
+        for spec in registry.bucket_specs(registry.UNNEEDED):
+            if not self.enabled(spec.name):
+                continue
+            ran = self._guarded(
+                report, spec.name, lambda spec=spec: spec.run(ctx)
             )
+            if ran is not None:
+                report.unneeded_findings.extend(ran[0])
 
-        if self._annotate:
-            buggy = set()
-            for finding in report.ordering_findings:
-                if finding.pairing is None:
-                    continue
-                buggy.add(id(finding.pairing))
-                if finding.pairing.parent is not None:
-                    buggy.add(id(finding.pairing.parent))
-            annotate = AnnotationChecker()
-            report.annotation_findings.extend(
-                self._guarded(
-                    report, "annotate",
-                    lambda: annotate.check(result.pairings, buggy),
-                ) or []
+        for finding in report.ordering_findings:
+            if finding.pairing is None:
+                continue
+            ctx.buggy_pairings.add(id(finding.pairing))
+            if finding.pairing.parent is not None:
+                ctx.buggy_pairings.add(id(finding.pairing.parent))
+        for spec in registry.bucket_specs(registry.ANNOTATION):
+            if not self.enabled(spec.name):
+                continue
+            ran = self._guarded(
+                report, spec.name, lambda spec=spec: spec.run(ctx)
             )
+            if ran is not None:
+                report.annotation_findings.extend(ran[0])
 
         report.ordering_findings.sort(
             key=lambda f: (f.filename, f.function, f.line)

@@ -86,6 +86,9 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="trace the run and write a Chrome "
                               "trace_event JSON (Perfetto-loadable) "
                               "to PATH")
+    analyze.add_argument("--checks", default=None, metavar="C1,C2",
+                         help="comma-separated checker names to enable "
+                              "(default: all registered checkers)")
     _add_perf_args(analyze)
     _add_store_args(analyze)
 
@@ -378,6 +381,16 @@ def cmd_analyze(args) -> int:
     options = _perf_options(args, ScanLimits(
         write_window=args.write_window, read_window=args.read_window
     ))
+    if args.checks is not None:
+        from repro.checkers import registry
+
+        names = frozenset(
+            name.strip() for name in args.checks.split(",") if name.strip()
+        )
+        try:
+            options.checks = registry.validate_checks(names)
+        except ValueError as exc:
+            raise SystemExit(f"error: {exc}")
     trace = None
     if args.trace is not None:
         from repro.trace import start_trace

@@ -531,21 +531,29 @@ class ClusterExecutor:
         ]
         info["shards"] = len(chunks)
         shard_results: list[dict | None] = [None] * len(chunks)
+        shard_nodes: list[str] = [""] * len(chunks)
 
         def run_chunk(index: int, chunk) -> None:
             paths = {
                 path for spec in chunk for path, _pos in spec.barrier_refs
             }
             sub = {path: files[path] for path in sorted(paths)}
-            out = self._with_failover(
-                live[index % len(live)], "check",
-                lambda n: n.client.shard_check(
+            answered = [""]
+
+            def call(n: _Node):
+                # Failover walks nodes; the last one invoked before a
+                # non-None return is the node that answered this shard.
+                answered[0] = n.url
+                return n.client.shard_check(
                     ctx.epoch, sub, pack(chunk), tuple(checks)
-                ),
-                ctx,
+                )
+
+            out = self._with_failover(
+                live[index % len(live)], "check", call, ctx
             )
             if out is not None:
                 shard_results[index] = unpack(out["results"])
+                shard_nodes[index] = answered[0]
 
         threads = [
             threading.Thread(target=contextvars.copy_context().run,
@@ -563,7 +571,8 @@ class ClusterExecutor:
             findings: list = []
             claimed: list = []
             fail: str | None = None
-            for res in shard_results:
+            fail_node = ""
+            for index, res in enumerate(shard_results):
                 if res is None:
                     if self._closed:
                         raise ExecutorClosed(
@@ -575,11 +584,12 @@ class ClusterExecutor:
                     return None, info
                 if shard[0] == "checkerfail":
                     fail = shard[1]
+                    fail_node = shard_nodes[index]
                     break
                 findings.extend(shard[1])
                 claimed.extend(shard[2])
             if fail is not None:
-                merged[name] = ("checkerfail", fail)
+                merged[name] = ("checkerfail", fail, fail_node)
             else:
                 merged[name] = ("ok", findings, claimed)
         return merged, info

@@ -709,40 +709,35 @@ class OFenceEngine:
                 profile.count("check.shards", info["shards"])
             if raw is None:
                 return None
+            from repro.checkers import registry
+
             out: dict = {}
             for name in wanted:
                 shard = raw.get(name)
                 if shard is None:
                     continue  # that checker falls back to inline
                 if shard[0] == "checkerfail":
-                    out[name] = ("err", shard[1])
+                    # Cluster shards carry the node label the failing
+                    # shard ran on; local shards do not.
+                    node = shard[2] if len(shard) > 2 else ""
+                    out[name] = ("err", shard[1], node)
                     continue
+                spec = registry.get(name)
                 findings = []
                 for wire in shard[1]:
-                    finding = self._decode_finding(wire, check_list)
+                    finding = self._decode_finding(spec, wire, check_list)
                     if finding is None:
                         return None  # ref mismatch: run inline instead
                     findings.append(finding)
-                if name == "reread":
-                    from repro.checkers.reread import RereadResult
-
-                    claimed = {
-                        (id(check_list[entry]), key)
-                        for entry, key in shard[2]
-                        if entry < len(check_list)
-                    }
-                    out[name] = ("ok", RereadResult(
-                        findings=findings, claimed=claimed
-                    ))
-                else:
-                    out[name] = ("ok", findings)
+                claimed = spec.codec.decode_claims(shard[2], check_list)
+                out[name] = ("ok", findings, claimed)
             profile.count("exec.dispatched", len(entries))
             return out
 
         return run_shards
 
-    def _decode_finding(self, wire, check_list):
-        """Re-bind a :class:`FindingWire` to parent-side objects.
+    def _decode_finding(self, spec, wire, check_list):
+        """Re-bind one wire finding through its checker's codec.
 
         Identity matters downstream (the annotate checker keys buggy
         pairings by ``id``, the patch generator walks ``use.access``),
@@ -750,7 +745,6 @@ class OFenceEngine:
         any miss aborts the whole shard decode and the checker re-runs
         inline.
         """
-        from repro.checkers.model import Finding
 
         def site_at(ref):
             if ref is None:
@@ -770,31 +764,7 @@ class OFenceEngine:
                 return None
             return site.uses[uidx]
 
-        if wire.entry >= len(check_list):
-            return None
-        barrier = site_at(wire.barrier)
-        if wire.barrier is not None and barrier is None:
-            return None
-        use = use_at(wire.use)
-        if wire.use is not None and use is None:
-            return None
-        reference_use = use_at(wire.reference_use)
-        if wire.reference_use is not None and reference_use is None:
-            return None
-        return Finding(
-            kind=wire.kind,
-            filename=wire.filename,
-            function=wire.function,
-            line=wire.line,
-            explanation=wire.explanation,
-            fix_action=wire.fix_action,
-            object_key=wire.object_key,
-            barrier=barrier,
-            pairing=check_list[wire.entry],
-            use=use,
-            reference_use=reference_use,
-            details=dict(wire.details),
-        )
+        return spec.codec.decode_finding(wire, check_list, site_at, use_at)
 
     def _scan_single(self, path: str, key: str | None = None) -> str | None:
         if key is None:

@@ -57,6 +57,10 @@ class CorpusSpec:
     #: (only paired in the Figure 6 sweep at larger windows).
     far_writer_pairs: int = 15
     misplaced_bugs: int = 8
+    #: Publish-before-init deviations (payload write after its
+    #: ``smp_store_release``); zero by default to keep the paper-scale
+    #: golden counts — eval/fuzz exercise the pattern directly.
+    publish_bugs: int = 0
     reread_cross_bugs: int = 1
     reread_guard_bugs: int = 1
     seqcount_bugs: int = 1
@@ -117,7 +121,8 @@ class CorpusSpec:
     @property
     def total_bugs(self) -> int:
         return (
-            self.misplaced_bugs + self.reread_cross_bugs
+            self.misplaced_bugs + self.publish_bugs
+            + self.reread_cross_bugs
             + self.reread_guard_bugs + self.seqcount_bugs
             + self.wrong_type_bugs
         )
@@ -382,6 +387,8 @@ class _CorpusBuilder:
 
         for _ in range(spec.misplaced_bugs):
             self._place(templates.misplaced_pair(self._uid("mp"), rng))
+        for _ in range(spec.publish_bugs):
+            self._place(templates.acqrel_publish_pair(self._uid("pb"), rng))
         for _ in range(spec.reread_cross_bugs):
             self._place(templates.reread_cross_pair(self._uid("rr"), rng))
         for _ in range(spec.reread_guard_bugs):

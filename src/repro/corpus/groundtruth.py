@@ -20,6 +20,7 @@ BUG_KIND_TO_DEVIATION: dict[str, DeviationKind] = {
     "reread": DeviationKind.REPEATED_READ,
     "wrong-type": DeviationKind.WRONG_BARRIER_TYPE,
     "unneeded": DeviationKind.UNNEEDED_BARRIER,
+    "publish-before-init": DeviationKind.PUBLISH_BEFORE_INIT,
 }
 
 

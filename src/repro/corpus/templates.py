@@ -293,6 +293,47 @@ def misplaced_pair(uid: str, rng: random.Random) -> PatternCode:
     )
 
 
+def acqrel_publish_pair(uid: str, rng: random.Random) -> PatternCode:
+    """Publish-before-init: the payload write lands *after* the
+    ``smp_store_release`` that publishes the ready flag, so a reader
+    passing ``smp_load_acquire`` may consume the uninitialized payload."""
+    struct = f"obj_{uid}"
+    writer = f"{uid}_publish"
+    reader = f"{uid}_consume"
+    pad = rng.randint(0, 2)
+    code = "\n".join([
+        f"struct {struct} {{",
+        "\tint payload;",
+        "\tint ready;",
+        "};",
+        f"void {writer}(struct {struct} *obj)", "{",
+        "\tsmp_store_release(&obj->ready, 1);",
+        *_pad(pad),
+        "\tobj->payload = 1;",
+        "}",
+        f"int {reader}(struct {struct} *obj)", "{",
+        "\tif (!smp_load_acquire(&obj->ready))",
+        "\t\treturn 0;",
+        "\tconsume(obj->payload);",
+        "\treturn 1;",
+        "}",
+    ]) + "\n"
+    return PatternCode(
+        pattern_id=uid,
+        chunks=[code],
+        functions=[writer, reader],
+        bugs=[
+            InjectedBug(
+                bug_id=f"{uid}-publish",
+                kind="publish-before-init",
+                filename="",  # filled by the generator
+                function=writer,
+                field_name="payload",
+            )
+        ],
+    )
+
+
 def reread_cross_pair(uid: str, rng: random.Random) -> PatternCode:
     """Patch 3: counter read before the barrier, racily re-read after."""
     struct = f"reuse_{uid}"

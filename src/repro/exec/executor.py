@@ -9,9 +9,9 @@ engine uses:
 * :meth:`pair_candidates` — best-candidate search for write barriers,
   sharded over worker-side warm pairing indexes that the parent syncs by
   file-level delta;
-* :meth:`check_shards` — the CFG-bound checkers (reread, seqcount) over
-  contiguous shards of the check list, merged back in shard order so the
-  result is bit-for-bit the serial one.
+* :meth:`check_shards` — every checker whose registry spec declares it
+  CFG-shardable, over contiguous shards of the check list, merged back
+  in shard order so the result is bit-for-bit the serial one.
 
 Design points:
 

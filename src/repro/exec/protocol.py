@@ -12,8 +12,8 @@ the dataclasses below.  Analysis objects never travel by identity:
   (``entry``), and rebuilt worker-side from site refs + common objects;
 * a finding comes back as a :class:`FindingWire` holding refs, and the
   parent re-binds it to its own site/use/pairing objects — required
-  because downstream consumers (the patch generator, the annotate
-  checker) rely on object identity.
+  because downstream consumers (the patch generator, the
+  annotation-bucket checkers) rely on object identity.
 
 Task messages (parent -> worker), all tuples headed by a kind tag:
 

@@ -32,7 +32,7 @@ from repro.analysis.barrier_scan import BarrierScanner, ScanLimits
 from repro.core.cache import CachedScan
 from repro.cparse.parser import ParseError, parse_source
 from repro.cparse.typesys import TypeRegistry
-from repro.exec.protocol import PAIR_NS_CAP, encode_finding
+from repro.exec.protocol import PAIR_NS_CAP
 from repro.trace.model import SpanRecord
 
 #: Warm-state bounds; generous for the corpus scale, small enough that a
@@ -181,14 +181,19 @@ def _materialize(state: _WorkerState, path: str, key: str, text: str):
 
 
 def _handle_check(state: _WorkerState, msg):
-    """Run the CFG-bound checkers over one shard of pairings.
+    """Run the requested shardable checkers over one shard of pairings.
 
-    Returns ``{checker: ("ok", findings, claimed) | ("checkerfail",
-    message)}`` — "checkerfail" reproduces the serial ``_guarded``
-    outcome (the checker itself raised on this input), while unexpected
-    failures outside the checkers (parse, rebuild) propagate and become
-    a task error, which the parent answers by re-running serially.
+    Which checkers run — and in what order, with claims threaded
+    between them — comes from the checker registry: any spec declaring
+    itself CFG-shardable may be requested, and each result is encoded
+    through the spec's wire codec.  Returns ``{checker: ("ok",
+    findings, claimed) | ("checkerfail", message)}`` — "checkerfail"
+    reproduces the serial ``_guarded`` outcome (the checker itself
+    raised on this input), while unexpected failures outside the
+    checkers (parse, rebuild) propagate and become a task error, which
+    the parent answers by re-running serially.
     """
+    from repro.checkers import registry
     from repro.pairing.model import Pairing
 
     _, _batch, files, entries, checks = msg
@@ -228,46 +233,33 @@ def _handle_check(state: _WorkerState, msg):
         scan = scanner.function_scan(function)
         return scan.cfg if scan is not None else None
 
+    # Shard-local context: the chunk is both the pairing list and the
+    # check list (broadcast slicing happened parent-side), and claims
+    # thread between shardable checkers in registry order — chunk-local
+    # claims equal the global claims restricted to the chunk because
+    # claims are pairing-local and each pairing lives in one shard.
+    ctx = registry.CheckContext(
+        pairings=pairings, check_list=pairings, cfg_lookup=cfg_lookup
+    )
     results: dict[str, tuple] = {}
-    if "reread" in checks:
-        from repro.checkers.reread import RepeatedReadChecker
-
+    for spec in registry.shardable_specs():
+        if spec.name not in checks:
+            continue
         try:
-            reread = RepeatedReadChecker(cfg_lookup).check(pairings)
-            results["reread"] = (
+            findings, claimed = spec.run(ctx)
+            results[spec.name] = (
                 "ok",
                 [
-                    encode_finding(
-                        f, entry_of[id(f.pairing)], site_refs, use_refs
-                    )
-                    for f in reread.findings
-                ],
-                [(entry_of[pid], key) for pid, key in sorted(
-                    reread.claimed,
-                    key=lambda ck: (entry_of[ck[0]], str(ck[1])),
-                )],
-            )
-        except Exception as exc:
-            results["reread"] = (
-                "checkerfail", f"{type(exc).__name__}: {exc}"
-            )
-    if "seqcount" in checks:
-        from repro.checkers.seqcount import SeqcountChecker
-
-        try:
-            findings = SeqcountChecker(cfg_lookup).check(pairings)
-            results["seqcount"] = (
-                "ok",
-                [
-                    encode_finding(
-                        f, entry_of[id(f.pairing)], site_refs, use_refs
+                    spec.codec.encode_finding(
+                        f, entry_of, site_refs, use_refs
                     )
                     for f in findings
                 ],
-                [],
+                spec.codec.encode_claims(claimed, entry_of),
             )
+            ctx.claimed |= claimed
         except Exception as exc:
-            results["seqcount"] = (
+            results[spec.name] = (
                 "checkerfail", f"{type(exc).__name__}: {exc}"
             )
     return results

@@ -14,17 +14,19 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.checkers import registry
 from repro.checkers.model import DeviationKind
 from repro.core.engine import run_in_mode
 from repro.corpus.groundtruth import BUG_KIND_TO_DEVIATION
 from repro.fuzz.generate import generate_case
 
-#: Deviation kind -> name of the checker that reports it.
+#: Deviation kind -> name of the checker that owns it (first spec in
+#: registry run order declaring the kind; secondary emitters like
+#: seqcount attribute to the primary owner).
 CHECKER_OF_KIND = {
-    DeviationKind.MISPLACED_ACCESS: "misplaced",
-    DeviationKind.REPEATED_READ: "reread",
-    DeviationKind.WRONG_BARRIER_TYPE: "wrong-type",
-    DeviationKind.UNNEEDED_BARRIER: "unneeded",
+    kind: registry.checker_for_kind(kind)
+    for spec in registry.ordered_specs()
+    for kind in spec.kinds
 }
 
 #: Bug patterns cycled across eval cases, with the checker under test.
@@ -37,6 +39,7 @@ _BUG_PATTERN_CYCLE = [
     "unneeded_wakeup",
     "unneeded_double_barrier",
     "unneeded_atomic",
+    "acqrel_publish_pair",
     "bnx2x_fp_pair",
 ]
 

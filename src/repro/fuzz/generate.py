@@ -79,6 +79,7 @@ _PATTERN_POOL: list[tuple[str, int]] = [
     ("generic_type_pair", 3),
     ("sweep_noise_pattern", 2),
     ("misplaced_pair", 6),
+    ("acqrel_publish_pair", 3),
     ("reread_cross_pair", 4),
     ("reread_guard_pair", 4),
     ("wrong_type_group", 4),

@@ -6,6 +6,8 @@ carries a unified diff implementing the fix:
 
 * ``MOVE_READ`` — the misplaced read statement is moved to the correct
   side of the barrier (Patch 1 style);
+* ``MOVE_WRITE`` — a payload write placed after its publishing
+  ``smp_store_release`` is hoisted before it (same statement mover);
 * ``REPLACE_BARRIER`` — the primitive is renamed (deviation #2);
 * ``REUSE_VALUE`` — the re-read expression is replaced by the variable
   holding the initially read value (Patches 2 and 3);
@@ -163,6 +165,7 @@ class PatchGenerator:
         editor = SourceEditor(source)
         handler = {
             FixAction.MOVE_READ: self._fix_move_read,
+            FixAction.MOVE_WRITE: self._fix_move_read,
             FixAction.REPLACE_BARRIER: self._fix_replace_barrier,
             FixAction.REUSE_VALUE: self._fix_reuse_value,
             FixAction.REMOVE_BARRIER: self._fix_remove_barrier,

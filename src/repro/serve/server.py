@@ -331,6 +331,16 @@ class AnalysisService:
         # double-counting an engine's stats on its next job.
         self.metrics.merge_cache(replace(engine.disk_cache.stats))
         engine.disk_cache.stats = CacheStats()
+        # Per-checker counters, keyed off the registry: findings by the
+        # owning checker's name, failures by the checker that raised.
+        from repro.checkers import registry
+
+        for finding in result.report.all_findings:
+            checker = registry.checker_for_kind(finding.kind)
+            if checker is not None:
+                self.metrics.increment(f"check.findings.{checker}")
+        for failure in result.report.checker_failures:
+            self.metrics.increment(f"check.failures.{failure.checker}")
         if self.store is not None:
             # Before mark_done: a waiter released by the done event must
             # find the run already committed.  Inside _job_ctx, so the

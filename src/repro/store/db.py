@@ -517,6 +517,13 @@ class FindingsStore:
             clauses.append("state=?")
             params.append(state)
         if checker is not None:
+            from repro.checkers import registry
+
+            if checker not in registry.kind_values():
+                raise TriageError(
+                    f"unknown checker kind {checker!r}; "
+                    f"valid: {', '.join(registry.kind_values())}"
+                )
             clauses.append("kind=?")
             params.append(checker)
         if file is not None:

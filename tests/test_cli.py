@@ -50,6 +50,27 @@ class TestAnalyzeCommand:
             "--write-window", "1", "--read-window", "10",
         ]) == 0
 
+    def test_checks_subset_runs(self, sources, capsys):
+        writer, reader = sources
+        assert main([
+            "analyze", str(writer), str(reader),
+            "--checks", "misplaced,reread",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "1 pairings" in out
+
+    def test_unknown_check_error_lists_registry_names(self, sources):
+        from repro.checkers import registry
+
+        writer, reader = sources
+        with pytest.raises(SystemExit) as excinfo:
+            main(["analyze", str(writer), str(reader),
+                  "--checks", "misplaced,bogus-checker"])
+        message = str(excinfo.value)
+        assert "bogus-checker" in message
+        # The valid-name list comes from the registry, sorted.
+        assert ", ".join(sorted(registry.all_names())) in message
+
 
 class TestCorpusCommands:
     def test_corpus_report(self, capsys):

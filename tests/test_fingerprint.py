@@ -112,6 +112,60 @@ class TestFingerprintStability:
         assert fingerprints_of({"a.c": renamed}) != base
 
 
+ACQREL_PUBLISH = """\
+struct pub { int payload; int ready; };
+
+void w(struct pub *p)
+{
+\tsmp_store_release(&p->ready, 1);
+\tp->payload = 1;
+}
+
+int r(struct pub *p)
+{
+\tif (!smp_load_acquire(&p->ready))
+\t\treturn 0;
+\tconsume(p->payload);
+\treturn 1;
+}
+"""
+
+
+class TestAcquireReleaseFingerprints:
+    """Identity rules hold for publish-before-init findings too."""
+
+    def test_finding_gets_a_fingerprint(self):
+        base = fingerprints_of({"a.c": ACQREL_PUBLISH})
+        assert base
+
+    def test_shift_and_comment_noise_preserve_fingerprints(self):
+        base = fingerprints_of({"a.c": ACQREL_PUBLISH})
+        shifted = PADDING + "\n" + ACQREL_PUBLISH
+        assert fingerprints_of({"a.c": shifted}) == base
+        noisy = ACQREL_PUBLISH.replace(
+            "\tsmp_store_release(&p->ready, 1);",
+            "\t/* publish */\n\n\tsmp_store_release(&p->ready, 1);",
+        )
+        assert fingerprints_of({"a.c": noisy}) == base
+
+    def test_unrelated_renames_preserve_fingerprints(self):
+        base = fingerprints_of({"a.c": ACQREL_PUBLISH})
+        renamed = ACQREL_PUBLISH.replace("*p", "*obj").replace(
+            "p->", "obj->"
+        )
+        assert fingerprints_of({"a.c": renamed}) == base
+
+    def test_changing_the_release_primitive_changes_identity(self):
+        base = fingerprints_of({"a.c": ACQREL_PUBLISH})
+        # A plain smp_wmb no longer implies the flag store, so the
+        # publish-before-init identity must not survive the swap.
+        changed = ACQREL_PUBLISH.replace(
+            "smp_store_release(&p->ready, 1);", "smp_wmb();\n\tp->ready = 1;"
+        )
+        other = fingerprints_of({"a.c": changed})
+        assert not (set(base) & set(other))
+
+
 class TestNormalization:
     def test_normalize_path(self):
         assert normalize_path("./a/b.c") == "a/b.c"

@@ -154,6 +154,26 @@ class TestMetamorphicOracle:
         finally:
             metamorphic.TRANSFORMS.pop("_test_dropper", None)
 
+    def test_acquire_release_findings_survive_all_transforms(self):
+        """Publish-before-init findings (and their fingerprints, for the
+        noise transforms) are invariant under every transform."""
+        import random
+
+        from repro.checkers.model import DeviationKind
+        from repro.core.engine import run_in_mode
+
+        case = generate_case(
+            31, allow_mutants=False,
+            force_patterns=["acqrel_publish_pair", "correct_pair_acqrel",
+                            "correct_pair"],
+        )
+        base = run_in_mode("serial", case.source)
+        assert any(
+            f.kind is DeviationKind.PUBLISH_BEFORE_INIT
+            for f in base.report.ordering_findings
+        ), "the planted publish-before-init bug must be found"
+        assert check_metamorphic(case, random.Random(0)) == []
+
 
 class TestReducer:
     def test_ddmin_minimises_to_failure_core(self):

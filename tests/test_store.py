@@ -155,14 +155,17 @@ class TestTriage:
 
     def test_findings_filters(self, store):
         store.record_run(
-            records=[rec("aa"), rec("bb", kind="misplaced-read")],
+            records=[rec("aa"), rec("bb", kind="misplaced-memory-access")],
             tree_hash="t",
         )
         assert [f.fingerprint for f in store.findings(
-            checker="misplaced-read"
+            checker="misplaced-memory-access"
         )] == ["bb"]
         with pytest.raises(TriageError):
             store.findings(state="bogus")
+        # The checker filter is validated against the registry's kinds.
+        with pytest.raises(TriageError):
+            store.findings(checker="not-a-checker-kind")
 
     def test_fixed_reopens_on_resighting(self, store):
         store.record_run(records=[rec("aa")], tree_hash="t1")
